@@ -1,0 +1,207 @@
+// Benchmark harness: one testing.B benchmark per figure and table of the
+// paper's evaluation. Each benchmark regenerates its figure (quick scale)
+// and reports the figure's headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Absolute host ns/op is irrelevant (the
+// workload is a simulation); the custom metrics carry the simulated
+// results. cmd/mcfigures emits the full tables at paper scale.
+package mcsquare
+
+import (
+	"strconv"
+	"testing"
+
+	"mcsquare/internal/figures"
+	"mcsquare/internal/stats"
+)
+
+func quickOpts() figures.Options { return figures.Options{Quick: true} }
+
+func val(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// run executes a figure generator once per benchmark iteration and returns
+// the last iteration's tables.
+func run(b *testing.B, gen func(figures.Options) []*stats.Table) []*stats.Table {
+	b.Helper()
+	var tables []*stats.Table
+	for i := 0; i < b.N; i++ {
+		tables = gen(quickOpts())
+	}
+	return tables
+}
+
+func BenchmarkFig02CopyOverhead(b *testing.B) {
+	tb := run(b, figures.Figure2)[0]
+	for _, row := range tb.Rows() {
+		b.ReportMetric(val(b, row[1]), row[0]+"_copyfrac")
+	}
+}
+
+func BenchmarkFig03StallBreakdown(b *testing.B) {
+	tb := run(b, figures.Figure3)[0]
+	for _, row := range tb.Rows() {
+		b.ReportMetric(val(b, row[1]), row[0])
+	}
+}
+
+func BenchmarkFig04SizeCDF(b *testing.B) {
+	tb := run(b, figures.Figure4)[0]
+	// Headline: the cumulative mass at 1 KB (the paper's 56% step sits
+	// just below it).
+	for _, row := range tb.Rows() {
+		if row[0] == "1024B" {
+			b.ReportMetric(val(b, row[2]), "cdf_at_1KB")
+		}
+	}
+}
+
+func BenchmarkFig10CopyLatency(b *testing.B) {
+	tb := run(b, figures.Figure10)[0]
+	rows := tb.Rows()
+	// Headline: (MC)² speedup over memcpy at the largest size measured.
+	last := rows[len(rows)-1]
+	b.ReportMetric(val(b, last[1])/val(b, last[4]), "mc2_speedup_max_size")
+	for _, row := range rows {
+		if row[0] == "4KB" {
+			b.ReportMetric(val(b, row[1])/val(b, row[4]), "mc2_speedup_4KB")
+		}
+	}
+}
+
+func BenchmarkFig11Breakdown(b *testing.B) {
+	tb := run(b, figures.Figure11)[0]
+	rows := tb.Rows()
+	b.ReportMetric(val(b, rows[len(rows)-1][1]), "clwb_share_max_size")
+}
+
+func BenchmarkFig12SeqAccess(b *testing.B) {
+	tb := run(b, figures.Figure12)[0]
+	rows := tb.Rows()
+	last := rows[len(rows)-1] // 100% accessed
+	b.ReportMetric(val(b, last[3]), "mc2_vs_memcpy_full_access")
+	b.ReportMetric(val(b, last[5]), "mc2_noprefetch_full_access")
+}
+
+func BenchmarkFig13RandAccess(b *testing.B) {
+	tb := run(b, figures.Figure13)[0]
+	rows := tb.Rows()
+	last := rows[len(rows)-1]
+	b.ReportMetric(val(b, last[3]), "mc2_vs_memcpy_full_chase")
+	b.ReportMetric(val(b, last[5]), "mc2_nowriteback_full_chase")
+}
+
+func BenchmarkFig14Protobuf(b *testing.B) {
+	tb := run(b, figures.Figure14)[0]
+	rows := tb.Rows()
+	base, zio, mc2 := val(b, rows[0][1]), val(b, rows[1][1]), val(b, rows[2][1])
+	b.ReportMetric(100*(1-mc2/base), "mc2_runtime_reduction_pct")
+	b.ReportMetric(zio/base, "zio_vs_baseline")
+}
+
+func BenchmarkFig15Mongo(b *testing.B) {
+	tb := run(b, figures.Figure15)[0]
+	rows := tb.Rows()
+	base, zio, mc2 := val(b, rows[0][1]), val(b, rows[1][1]), val(b, rows[2][1])
+	b.ReportMetric(100*(1-mc2/base), "mc2_latency_reduction_pct")
+	b.ReportMetric(100*(zio/base-1), "zio_latency_increase_pct")
+}
+
+func BenchmarkFig16MVCCRMW(b *testing.B) {
+	tables := run(b, figures.Figure16)
+	oneT := tables[0].Rows()
+	b.ReportMetric(100*(val(b, oneT[0][2])/val(b, oneT[0][1])-1), "speedup_pct_6.25pct_1T")
+	eightT := tables[1].Rows()
+	b.ReportMetric(100*(val(b, eightT[0][2])/val(b, eightT[0][1])-1), "speedup_pct_6.25pct_8T")
+}
+
+func BenchmarkFig17MVCCWrite(b *testing.B) {
+	tables := run(b, figures.Figure17)
+	oneT := tables[0].Rows()
+	mid := oneT[2] // 25% written
+	b.ReportMetric(val(b, mid[3])/val(b, mid[2]), "nt_over_rfo_1T_25pct")
+}
+
+func BenchmarkFig18HugeCOW(b *testing.B) {
+	tb := run(b, figures.Figure18)[0]
+	var nmax, lmax float64
+	for _, row := range tb.Rows() {
+		if v := val(b, row[1]); v > nmax {
+			nmax = v
+		}
+		if v := val(b, row[2]); v > lmax {
+			lmax = v
+		}
+	}
+	b.ReportMetric(nmax/lmax, "worstcase_latency_reduction_x")
+}
+
+func BenchmarkFig19Pipe(b *testing.B) {
+	tb := run(b, figures.Figure19)[0]
+	rows := tb.Rows()
+	last := rows[len(rows)-1] // 16 KB transfers
+	b.ReportMetric(val(b, last[2])/val(b, last[1]), "mc2_throughput_gain_16KB")
+}
+
+func BenchmarkFig20CTTSweep(b *testing.B) {
+	tables := run(b, figures.Figure20)
+	rt := tables[0].Rows()
+	var minV, maxV float64 = 1e18, 0
+	for _, row := range rt {
+		for _, cell := range row[1:] {
+			v := val(b, cell)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	b.ReportMetric(100*(maxV-minV)/minV, "runtime_spread_pct")
+}
+
+func BenchmarkFig21BPQSweep(b *testing.B) {
+	tb := run(b, figures.Figure21)[0]
+	rows := tb.Rows()
+	last := rows[len(rows)-1]
+	b.ReportMetric(val(b, last[1])/val(b, last[4]), "speedup_bpq8_over_bpq1")
+}
+
+func BenchmarkFig22ParallelFree(b *testing.B) {
+	tb := run(b, figures.Figure22)[0]
+	rows := tb.Rows()
+	last := rows[len(rows)-1] // 8 threads
+	b.ReportMetric(val(b, last[len(last)-1])/val(b, last[1]), "free8_over_free1_8T")
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	tb := run(b, figures.Table1)[0]
+	b.ReportMetric(float64(tb.NumRows()), "config_rows")
+}
+
+// BenchmarkCoreLazyMemcpy measures the simulator itself: host time to
+// execute one simulated lazy copy + readback (useful when optimizing the
+// simulator, not a paper result).
+func BenchmarkCoreLazyMemcpy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := New(DefaultConfig())
+		src := sys.AllocPage(64 << 10)
+		dst := sys.AllocPage(64 << 10)
+		sys.FillRandom(src, 1)
+		sys.Run(func(t *Thread) {
+			t.MemcpyLazy(dst.Addr, src.Addr, src.Size)
+			t.ReadAsync(dst.Addr, 4096)
+			t.Fence()
+		})
+	}
+}

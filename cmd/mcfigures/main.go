@@ -1,0 +1,88 @@
+// mcfigures regenerates the paper's evaluation figures and tables as
+// tab-separated text, one file per figure (like the artifact's
+// results/figureX.txt) or to stdout.
+//
+// Usage:
+//
+//	mcfigures                      # every figure, to stdout
+//	mcfigures -fig 14              # one figure
+//	mcfigures -quick               # reduced sizes/ops (minutes, same shapes)
+//	mcfigures -out results/        # write results/figureX.txt files
+//	mcfigures -list                # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mcsquare/internal/figures"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure id to run (e.g. 10, 16, table1); empty = all")
+		quick = flag.Bool("quick", false, "reduced problem sizes (same shapes, much faster)")
+		out   = flag.String("out", "", "directory for figureX.txt files (default: stdout)")
+		list  = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range figures.All() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Title)
+		}
+		return
+	}
+
+	gens := figures.All()
+	if *fig != "" {
+		g, ok := figures.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcfigures: unknown figure %q (use -list)\n", *fig)
+			os.Exit(1)
+		}
+		gens = []figures.Generator{g}
+	}
+
+	opt := figures.Options{Quick: *quick}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, g := range gens {
+		start := time.Now()
+		tables := g.Run(opt)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *out == "" {
+			for _, tb := range tables {
+				fmt.Println(tb.String())
+			}
+			fmt.Fprintf(os.Stderr, "# figure %s done in %s\n\n", g.ID, elapsed)
+			continue
+		}
+		name := filepath.Join(*out, "figure"+g.ID+".txt")
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			if _, err := tb.WriteTo(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", name, elapsed)
+	}
+}

@@ -1,0 +1,125 @@
+// mcsim runs a single workload on the simulated machine and prints its
+// result plus the machine's counters — the quick way to poke at one
+// configuration.
+//
+// Usage:
+//
+//	mcsim -workload protobuf -mech mc2
+//	mcsim -workload mvcc -mech baseline -threads 8 -frac 0.25
+//	mcsim -workload pipe -mech mc2 -size 16384
+//	mcsim -workload hugecow -mech baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/stats"
+	"mcsquare/internal/workloads/mongo"
+	"mcsquare/internal/workloads/mvcc"
+	"mcsquare/internal/workloads/oswl"
+	"mcsquare/internal/workloads/protobuf"
+	"mcsquare/internal/zio"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "protobuf", "protobuf | mongo | mvcc | pipe | hugecow")
+		mech     = flag.String("mech", "mc2", "baseline | zio | mc2")
+		threads  = flag.Int("threads", 1, "mvcc: worker threads")
+		frac     = flag.Float64("frac", 0.125, "mvcc: update fraction")
+		size     = flag.Uint64("size", 4096, "pipe: transfer size in bytes")
+		quick    = flag.Bool("quick", true, "reduced problem sizes")
+	)
+	flag.Parse()
+
+	switch *workload {
+	case "protobuf":
+		cfg := protobuf.Config{Seed: 42}
+		if *quick {
+			cfg.Ops, cfg.Burst = 192, 64
+		}
+		m := protobuf.NewMachine(*mech == "mc2", nil)
+		switch *mech {
+		case "baseline":
+			cfg.Copier = copykit.Eager{}
+		case "zio":
+			cfg.Copier = zio.New(oskern.New(m))
+		case "mc2":
+			cfg.Copier = copykit.Lazy{Threshold: 1024}
+		default:
+			fatal("unknown mechanism %q", *mech)
+		}
+		res := protobuf.Run(m, cfg)
+		fmt.Printf("protobuf/%s: runtime %.3f ms, %d copies (%.1f%% of cycles in memcpy)\n",
+			*mech, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
+			100*float64(res.CopyCycles)/float64(res.Cycles))
+		if m.Lazy != nil {
+			fmt.Printf("  lazy: %+v\n", m.Lazy.Stats)
+		}
+		fmt.Printf("  cache: %+v\n", m.Hier.Stats)
+
+	case "mongo":
+		cfg := mongo.Config{Seed: 42}
+		if *quick {
+			cfg.Inserts, cfg.Fields, cfg.FieldSize = 8, 4, 32<<10
+		}
+		m := mongo.NewMachine(*mech == "mc2")
+		switch *mech {
+		case "baseline":
+			cfg.Copier = copykit.Eager{}
+		case "zio":
+			cfg.Copier = zio.New(oskern.New(m))
+		case "mc2":
+			cfg.Copier = copykit.Lazy{Threshold: 1024}
+		default:
+			fatal("unknown mechanism %q", *mech)
+		}
+		res := mongo.Run(m, cfg)
+		fmt.Printf("mongo/%s: average insert latency %.4f ms (p99 %.4f ms)\n",
+			*mech, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
+
+	case "mvcc":
+		cfg := mvcc.Config{Seed: 42, Threads: *threads, UpdateFraction: *frac, Lazy: *mech == "mc2"}
+		if *quick {
+			cfg.Rows, cfg.OpsPerThread = 128, 60
+		}
+		if *mech == "zio" {
+			fatal("the paper could not run zIO on Cicada (MAP_SHARED); neither do we")
+		}
+		m := mvcc.NewMachine(cfg.Lazy, nil)
+		res := mvcc.Run(m, cfg)
+		fmt.Printf("mvcc/%s: %d txns in %.3f ms = %.0f kOps/s (%d threads, %.1f%% updated)\n",
+			*mech, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
+			*threads, *frac*100)
+
+	case "pipe":
+		lazy := *mech == "mc2"
+		tput := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: *size, Transfers: 48, Lazy: lazy, Seed: 42})
+		fmt.Printf("pipe/%s: %d-byte transfers at %.0f bytes/kilocycle\n", *mech, *size, tput)
+
+	case "hugecow":
+		cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: *mech == "mc2"}
+		if *quick {
+			cfg.RegionBytes, cfg.Accesses = 16<<20, 40
+		}
+		lat := oswl.HugeCOW(cfg)
+		var h stats.Histogram
+		for _, v := range lat {
+			h.Add(float64(v))
+		}
+		fmt.Printf("hugecow/%s: %d accesses, latency min %.0f / mean %.0f / max %.0f cycles\n",
+			*mech, h.N(), h.Min(), h.Mean(), h.Max())
+
+	default:
+		fatal("unknown workload %q", *workload)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module mcsquare
+
+go 1.22

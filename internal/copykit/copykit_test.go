@@ -1,0 +1,82 @@
+package copykit
+
+import (
+	"bytes"
+	"testing"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+)
+
+func newM(lazy bool) *machine.Machine {
+	p := machine.DefaultParams()
+	p.LazyEnabled = lazy
+	return machine.New(p)
+}
+
+func roundTrip(t *testing.T, m *machine.Machine, cp Copier) {
+	t.Helper()
+	src := m.AllocPage(16 << 10)
+	dst := m.AllocPage(16 << 10)
+	m.FillRandom(src, 16<<10, 1)
+	want := m.Phys.Read(src, 16<<10)
+	m.Run(func(c *cpu.Core) {
+		cp.Memcpy(c, dst, src, 16<<10)
+		got := cp.Read(c, dst, 16<<10)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: copy mismatch", cp.Name())
+		}
+		cp.Write(c, dst, []byte{0x11})
+		c.Fence()
+		if cp.Read(c, dst, 1)[0] != 0x11 {
+			t.Errorf("%s: write not visible", cp.Name())
+		}
+		cp.ReadAsync(c, dst+64, 8)
+		c.Fence()
+		cp.Free(c, memdata.Range{Start: dst, Size: 16 << 10})
+	})
+}
+
+func TestEagerRoundTrip(t *testing.T) { roundTrip(t, newM(false), Eager{}) }
+
+func TestLazyRoundTrip(t *testing.T) { roundTrip(t, newM(true), Lazy{Threshold: 1024}) }
+
+func TestLazyThresholdRouting(t *testing.T) {
+	m := newM(true)
+	src := m.AllocPage(8 << 10)
+	dst := m.AllocPage(8 << 10)
+	m.FillRandom(src, 8<<10, 2)
+	cp := Lazy{Threshold: 2048}
+	m.Run(func(c *cpu.Core) {
+		cp.Memcpy(c, dst, src, 1024) // below: eager
+	})
+	if m.Lazy.Stats.LazyOps != 0 {
+		t.Fatal("below-threshold copy went lazy")
+	}
+	m.Run(func(c *cpu.Core) {
+		cp.Memcpy(c, dst+4096, src+4096, 4096) // above: lazy
+	})
+	if m.Lazy.Stats.LazyOps == 0 {
+		t.Fatal("above-threshold copy stayed eager")
+	}
+}
+
+func TestZeroThresholdAlwaysLazy(t *testing.T) {
+	m := newM(true)
+	src := m.AllocPage(4096)
+	dst := m.AllocPage(4096)
+	m.FillRandom(src, 4096, 3)
+	m.Run(func(c *cpu.Core) {
+		Lazy{}.Memcpy(c, dst, src, 128)
+	})
+	if m.Lazy.Stats.LazyOps == 0 {
+		t.Fatal("zero-threshold Lazy copier did not go lazy")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Eager{}).Name() != "memcpy" || (Lazy{}).Name() != "mc2" {
+		t.Fatal("copier names changed; result tables depend on them")
+	}
+}

@@ -1,0 +1,470 @@
+// Package core implements the paper's primary contribution: the (MC)²
+// memory-controller extensions for lazy memory copies. It provides
+//
+//   - the Copy Tracking Table (CTT): prospective-copy entries with the
+//     paper's destination-overlap trimming, copy-chain collapsing, and
+//     contiguous-copy merging (§III-A1);
+//   - the Bounce Pending Queue (BPQ): held writes to tracked source
+//     buffers while lazy copies execute (§III-A2);
+//   - the lazy-copy Engine that installs itself as a memctrl.Hook and
+//     implements the six-state consistency protocol of Fig 9.
+//
+// The paper keeps one CTT per memory controller and broadcasts updates so
+// the tables stay identical; we model that as a single shared CTT, which is
+// semantically equivalent to perfectly-snooped consistent tables. BPQs
+// remain per controller.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcsquare/internal/memdata"
+)
+
+// MaxEntrySize is the largest copy a single CTT entry can track: the
+// paper's 21-bit size field, i.e. one 2 MB huge page.
+const MaxEntrySize = 2 << 20
+
+// segShift buckets addresses into 2 MB segments for indexed lookups. Since
+// no entry exceeds MaxEntrySize, an entry's destination or source range
+// spans at most two segments, and a query range of up to MaxEntrySize spans
+// at most two as well.
+const segShift = 21
+
+// Entry is one prospective copy: the destination byte range Dst will,
+// when accessed, be lazily filled from the source starting at Src.
+//
+// The hardware entry is 16 bytes (52-bit source and destination physical
+// addresses, 21-bit size, active bit); we carry the same information in
+// native types. Destination ranges of live entries are pairwise disjoint
+// at byte granularity.
+type Entry struct {
+	ID  uint64
+	Dst memdata.Range
+	Src memdata.Addr
+}
+
+// SrcRange returns the source byte range of the entry.
+func (e *Entry) SrcRange() memdata.Range {
+	return memdata.Range{Start: e.Src, Size: e.Dst.Size}
+}
+
+// SrcFor maps a destination address inside the entry to its source address.
+func (e *Entry) SrcFor(a memdata.Addr) memdata.Addr {
+	return e.Src + (a - e.Dst.Start)
+}
+
+// CTTStats counts CTT activity.
+type CTTStats struct {
+	Inserts    uint64 // MCLAZY operations accepted
+	Pieces     uint64 // entries created (after splits/merges)
+	Merges     uint64 // pieces absorbed into an adjacent entry
+	Collapses  uint64 // pieces redirected through an existing entry (chain collapse)
+	Identities uint64 // pieces dropped because source == destination after collapse
+	Trims      uint64 // destination-range removals (writes, bounces, MCFREE)
+	Removed    uint64 // entries fully removed
+	HighWater  int    // max simultaneous entries
+}
+
+// CTT is the Copy Tracking Table. It is a pure data structure: all timing
+// (lookup latency, stalls) is charged by the Engine. Not safe for
+// concurrent use; the simulator is single-threaded.
+type CTT struct {
+	capacity int
+	// noMerge disables adjacency merging (ablation): element-by-element
+	// copies then occupy one entry each instead of coalescing.
+	noMerge bool
+	nextID  uint64
+	entries map[uint64]*Entry
+	order   []uint64 // insertion order of live entry IDs (lazily compacted)
+	dstSeg  map[uint64][]*Entry
+	srcSeg  map[uint64][]*Entry
+
+	Stats CTTStats
+}
+
+// NewCTT creates a table with the given entry capacity (the paper uses
+// 2,048 entries = 32 KB of SRAM).
+func NewCTT(capacity int) *CTT { return newCTT(capacity, false) }
+
+func newCTT(capacity int, noMerge bool) *CTT {
+	if capacity <= 0 {
+		panic("core: CTT capacity must be positive")
+	}
+	return &CTT{
+		capacity: capacity,
+		noMerge:  noMerge,
+		entries:  make(map[uint64]*Entry),
+		dstSeg:   make(map[uint64][]*Entry),
+		srcSeg:   make(map[uint64][]*Entry),
+	}
+}
+
+// Len returns the number of live entries.
+func (t *CTT) Len() int { return len(t.entries) }
+
+// Capacity returns the entry capacity.
+func (t *CTT) Capacity() int { return t.capacity }
+
+func segsOf(r memdata.Range) (lo, hi uint64) {
+	if r.Empty() {
+		return 1, 0 // empty iteration
+	}
+	return uint64(r.Start) >> segShift, uint64(r.End()-1) >> segShift
+}
+
+func (t *CTT) register(e *Entry) {
+	t.entries[e.ID] = e
+	t.order = append(t.order, e.ID)
+	t.indexAdd(e)
+	if len(t.entries) > t.Stats.HighWater {
+		t.Stats.HighWater = len(t.entries)
+	}
+}
+
+func (t *CTT) indexAdd(e *Entry) {
+	lo, hi := segsOf(e.Dst)
+	for s := lo; s <= hi; s++ {
+		t.dstSeg[s] = append(t.dstSeg[s], e)
+	}
+	lo, hi = segsOf(e.SrcRange())
+	for s := lo; s <= hi; s++ {
+		t.srcSeg[s] = append(t.srcSeg[s], e)
+	}
+}
+
+func (t *CTT) indexRemove(e *Entry) {
+	rm := func(m map[uint64][]*Entry, r memdata.Range) {
+		lo, hi := segsOf(r)
+		for s := lo; s <= hi; s++ {
+			list := m[s]
+			for i, x := range list {
+				if x == e {
+					m[s] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(m[s]) == 0 {
+				delete(m, s)
+			}
+		}
+	}
+	rm(t.dstSeg, e.Dst)
+	rm(t.srcSeg, e.SrcRange())
+}
+
+func (t *CTT) remove(e *Entry) {
+	t.indexRemove(e)
+	delete(t.entries, e.ID)
+	t.Stats.Removed++
+}
+
+// mutate applies a destination-range change to an entry: its index entries
+// are refreshed and its new geometry installed.
+func (t *CTT) mutate(e *Entry, dst memdata.Range, src memdata.Addr) {
+	t.indexRemove(e)
+	e.Dst = dst
+	e.Src = src
+	t.indexAdd(e)
+}
+
+// DestCover returns the live entries whose destination range overlaps r,
+// sorted by destination start. Destination ranges are disjoint, so the
+// result segments r without overlap.
+func (t *CTT) DestCover(r memdata.Range) []*Entry {
+	var out []*Entry
+	lo, hi := segsOf(r)
+	seen := map[uint64]bool{}
+	for s := lo; s <= hi; s++ {
+		for _, e := range t.dstSeg[s] {
+			if !seen[e.ID] && e.Dst.Overlaps(r) {
+				seen[e.ID] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst.Start < out[j].Dst.Start })
+	return out
+}
+
+// LookupDest returns the entry whose destination contains a, or nil.
+func (t *CTT) LookupDest(a memdata.Addr) *Entry {
+	for _, e := range t.dstSeg[uint64(a)>>segShift] {
+		if e.Dst.Contains(a) {
+			return e
+		}
+	}
+	return nil
+}
+
+// SrcOverlapping returns the live entries whose source range overlaps r,
+// in insertion order. Source ranges may overlap each other (one source,
+// many destinations).
+func (t *CTT) SrcOverlapping(r memdata.Range) []*Entry {
+	lo, hi := segsOf(r)
+	seen := map[uint64]bool{}
+	var out []*Entry
+	for s := lo; s <= hi; s++ {
+		for _, e := range t.srcSeg[s] {
+			if !seen[e.ID] && e.SrcRange().Overlaps(r) {
+				seen[e.ID] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HasSrcOverlap reports whether any live entry's source overlaps r.
+func (t *CTT) HasSrcOverlap(r memdata.Range) bool {
+	lo, hi := segsOf(r)
+	for s := lo; s <= hi; s++ {
+		for _, e := range t.srcSeg[s] {
+			if e.SrcRange().Overlaps(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RemoveDestRange stops tracking every destination byte in r: overlapping
+// entries are removed, resized, or split (a write to the middle of an
+// entry's destination leaves two entries). Returns the number of
+// destination bytes that were tracked.
+func (t *CTT) RemoveDestRange(r memdata.Range) uint64 {
+	var trimmed uint64
+	for _, e := range t.DestCover(r) {
+		trimmed += e.Dst.Intersect(r).Size
+		t.trimEntry(e, r)
+	}
+	if trimmed > 0 {
+		t.Stats.Trims++
+	}
+	return trimmed
+}
+
+// trimEntry removes the part of e's destination overlapped by r.
+func (t *CTT) trimEntry(e *Entry, r memdata.Range) {
+	rest := e.Dst.Subtract(r)
+	switch len(rest) {
+	case 0:
+		t.remove(e)
+	case 1:
+		t.mutate(e, rest[0], e.SrcFor(rest[0].Start))
+	case 2:
+		src0 := e.SrcFor(rest[0].Start)
+		src1 := e.SrcFor(rest[1].Start)
+		t.mutate(e, rest[0], src0)
+		t.nextID++
+		t.register(&Entry{ID: t.nextID, Dst: rest[1], Src: src1})
+	}
+}
+
+// piece is a fragment of a new prospective copy after chain collapsing.
+type piece struct {
+	dst memdata.Range
+	src memdata.Addr
+}
+
+// collapse splits the copy (dst ← src) wherever its source range overlaps
+// an existing entry's destination: those fragments are redirected to the
+// older entry's source, so a copy of a lazy copy never chains (§III-A1:
+// "A→B then B→C yields C←A"). Fragments whose source equals their
+// destination after redirection are dropped — memory already holds the
+// right bytes.
+func (t *CTT) collapse(dst memdata.Range, src memdata.Addr, record bool) []piece {
+	srcR := memdata.Range{Start: src, Size: dst.Size}
+	overs := t.DestCover(srcR)
+	var out []piece
+	cur := src
+	end := srcR.End()
+	emit := func(from, to memdata.Addr, redirect *Entry) {
+		if to <= from {
+			return
+		}
+		p := piece{
+			dst: memdata.Range{Start: dst.Start + (from - src), Size: uint64(to - from)},
+			src: from,
+		}
+		if redirect != nil {
+			p.src = redirect.SrcFor(from)
+			if record {
+				t.Stats.Collapses++
+			}
+		}
+		if p.src == p.dst.Start {
+			if record {
+				t.Stats.Identities++
+			}
+			return
+		}
+		out = append(out, p)
+	}
+	for _, e := range overs {
+		o := e.Dst.Intersect(srcR)
+		emit(cur, o.Start, nil)
+		emit(o.Start, o.End(), e)
+		cur = o.End()
+	}
+	emit(cur, end, nil)
+	return out
+}
+
+// tryMerge attempts to absorb p into an entry adjacent in both destination
+// and source space (the paper merges element-by-element copies of an
+// array into one entry). Reports whether p was absorbed.
+func (t *CTT) tryMerge(p piece) bool {
+	if t.noMerge {
+		return false
+	}
+	// Existing entry immediately before the piece.
+	if p.dst.Start > 0 {
+		if e := t.LookupDest(p.dst.Start - 1); e != nil &&
+			e.Dst.End() == p.dst.Start &&
+			e.SrcRange().End() == p.src &&
+			e.Dst.Size+p.dst.Size <= MaxEntrySize {
+			t.mutate(e, memdata.Range{Start: e.Dst.Start, Size: e.Dst.Size + p.dst.Size}, e.Src)
+			t.Stats.Merges++
+			return true
+		}
+	}
+	// Existing entry immediately after the piece.
+	if e := t.LookupDest(p.dst.End()); e != nil &&
+		e.Dst.Start == p.dst.End() &&
+		e.Src == p.src+memdata.Addr(p.dst.Size) &&
+		e.Dst.Size+p.dst.Size <= MaxEntrySize {
+		t.mutate(e, memdata.Range{Start: p.dst.Start, Size: e.Dst.Size + p.dst.Size}, p.src)
+		t.Stats.Merges++
+		return true
+	}
+	return false
+}
+
+// Insert records the prospective copy (dst ← src). It applies, in order:
+// destination-overlap trimming of existing entries, chain collapsing of the
+// new copy, and adjacency merging. It returns false — leaving the table
+// unchanged — if the result would exceed capacity; the caller (the Engine)
+// then stalls the MCLAZY until asynchronous freeing makes room.
+//
+// dst must be cacheline-aligned with a positive cacheline-multiple size of
+// at most MaxEntrySize (the MCLAZY alignment rules, §III-C).
+func (t *CTT) Insert(dst memdata.Range, src memdata.Addr) bool {
+	if !memdata.IsLineAligned(dst.Start) || dst.Size == 0 || dst.Size%memdata.LineSize != 0 {
+		panic(fmt.Sprintf("core: Insert with unaligned destination %+v", dst))
+	}
+	if dst.Size > MaxEntrySize {
+		panic(fmt.Sprintf("core: Insert larger than a huge page: %d", dst.Size))
+	}
+
+	// Capacity dry run: count how trimming and splitting change the table.
+	delta := 0
+	for _, e := range t.DestCover(dst) {
+		switch len(e.Dst.Subtract(dst)) {
+		case 0:
+			delta--
+		case 2:
+			delta++
+		}
+	}
+	pieces := t.collapse(dst, src, true)
+	needed := 0
+	for range pieces {
+		needed++ // merges can only reduce this; a safe upper bound
+	}
+	if t.Len()+delta+needed > t.capacity {
+		return false
+	}
+
+	t.RemoveDestRange(dst)
+	for _, p := range pieces {
+		if t.tryMerge(p) {
+			continue
+		}
+		t.nextID++
+		t.register(&Entry{ID: t.nextID, Dst: p.dst, Src: p.src})
+		t.Stats.Pieces++
+	}
+	t.Stats.Inserts++
+	return true
+}
+
+// PreviewSources returns the post-collapse source ranges the copy
+// (dst ← src) would track if inserted now, without mutating the table or
+// its statistics. The Engine uses it to stall MCLAZY operations whose
+// effective sources land on BPQ-held lines.
+func (t *CTT) PreviewSources(dst memdata.Range, src memdata.Addr) []memdata.Range {
+	pieces := t.collapse(dst, src, false)
+	out := make([]memdata.Range, 0, len(pieces))
+	for _, p := range pieces {
+		out = append(out, memdata.Range{Start: p.src, Size: p.dst.Size})
+	}
+	return out
+}
+
+// Entries returns the live entries in insertion order (compacting the
+// order list as a side effect).
+func (t *CTT) Entries() []*Entry {
+	out := make([]*Entry, 0, len(t.entries))
+	live := t.order[:0]
+	for _, id := range t.order {
+		if e, ok := t.entries[id]; ok {
+			live = append(live, id)
+			out = append(out, e)
+		}
+	}
+	t.order = live
+	return out
+}
+
+// Smallest returns the live entry with the smallest destination size
+// (lowest ID breaks ties), or nil when the table is empty. The asynchronous
+// freeing policy evicts smallest-first (§III-A1).
+func (t *CTT) Smallest() *Entry {
+	var best *Entry
+	for _, e := range t.Entries() {
+		if best == nil || e.Dst.Size < best.Dst.Size ||
+			(e.Dst.Size == best.Dst.Size && e.ID < best.ID) {
+			best = e
+		}
+	}
+	return best
+}
+
+// CheckInvariants verifies structural invariants; tests call it after every
+// mutation. It returns an error describing the first violation found.
+func (t *CTT) CheckInvariants() error {
+	if len(t.entries) > t.capacity {
+		return fmt.Errorf("ctt: %d entries exceed capacity %d", len(t.entries), t.capacity)
+	}
+	ents := t.Entries()
+	for i, e := range ents {
+		if e.Dst.Empty() {
+			return fmt.Errorf("ctt: entry %d has empty destination", e.ID)
+		}
+		if e.Dst.Size > MaxEntrySize {
+			return fmt.Errorf("ctt: entry %d size %d exceeds 2 MB", e.ID, e.Dst.Size)
+		}
+		for _, o := range ents[i+1:] {
+			if e.Dst.Overlaps(o.Dst) {
+				return fmt.Errorf("ctt: destination overlap between entries %d and %d", e.ID, o.ID)
+			}
+		}
+		// Index consistency.
+		if got := t.LookupDest(e.Dst.Start); got != e {
+			return fmt.Errorf("ctt: dest index lost entry %d", e.ID)
+		}
+		found := false
+		for _, s := range t.SrcOverlapping(e.SrcRange()) {
+			if s == e {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("ctt: src index lost entry %d", e.ID)
+		}
+	}
+	return nil
+}

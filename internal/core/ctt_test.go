@@ -1,0 +1,432 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcsquare/internal/memdata"
+)
+
+const line = memdata.LineSize
+
+func rng(start, size uint64) memdata.Range {
+	return memdata.Range{Start: memdata.Addr(start), Size: size}
+}
+
+func mustInsert(t *testing.T, c *CTT, dst memdata.Range, src memdata.Addr) {
+	t.Helper()
+	if !c.Insert(dst, src) {
+		t.Fatalf("Insert(%+v <- %#x) hit capacity", dst, src)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBasic(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, 2*line), 0x8000)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	e := c.LookupDest(0x1000 + 70)
+	if e == nil || e.Src != 0x8000 {
+		t.Fatalf("LookupDest = %+v", e)
+	}
+	if e.SrcFor(0x1040) != 0x8040 {
+		t.Fatalf("SrcFor = %#x", e.SrcFor(0x1040))
+	}
+	if c.LookupDest(0x1000+2*line) != nil {
+		t.Fatal("LookupDest past end matched")
+	}
+}
+
+func TestInsertTrimsOverlappingDest(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, 4*line), 0x8000)
+	// New copy overwrites the middle two lines of the old destination.
+	mustInsert(t, c, rng(0x1040, 2*line), 0x20000)
+	// Old entry must be split into the first and last line.
+	if e := c.LookupDest(0x1000); e == nil || e.Src != 0x8000 || e.Dst.Size != line {
+		t.Fatalf("head fragment: %+v", e)
+	}
+	if e := c.LookupDest(0x10C0); e == nil || e.Src != 0x80C0 || e.Dst.Size != line {
+		t.Fatalf("tail fragment: %+v", e)
+	}
+	if e := c.LookupDest(0x1040); e == nil || e.Src != 0x20000 || e.Dst.Size != 2*line {
+		t.Fatalf("new entry: %+v", e)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestInsertExactOverwriteReplaces(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, 2*line), 0x8000)
+	mustInsert(t, c, rng(0x1000, 2*line), 0x9000)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if e := c.LookupDest(0x1000); e.Src != 0x9000 {
+		t.Fatalf("Src = %#x", e.Src)
+	}
+}
+
+func TestChainCollapse(t *testing.T) {
+	c := NewCTT(16)
+	// copy 1: A(0x8000) -> B(0x1000); copy 2: B -> C(0x4000).
+	mustInsert(t, c, rng(0x1000, 2*line), 0x8000)
+	mustInsert(t, c, rng(0x4000, 2*line), 0x1000)
+	e := c.LookupDest(0x4000)
+	if e == nil || e.Src != 0x8000 {
+		t.Fatalf("chain not collapsed: %+v", e)
+	}
+	if c.Stats.Collapses == 0 {
+		t.Fatal("collapse not counted")
+	}
+}
+
+func TestChainCollapsePartial(t *testing.T) {
+	c := NewCTT(16)
+	// B[0x1000,0x1080) <- A. Then C <- [0xFC0, 0x10C0): one line before B,
+	// two lines inside B's tracked range... only the first line of B is
+	// covered by the new source's middle portion.
+	mustInsert(t, c, rng(0x1000, 2*line), 0x8000)
+	// New copy: dst 0x4000 size 4 lines, src 0xFC0 (covers line before B,
+	// B's two lines, then one line after B).
+	mustInsert(t, c, rng(0x4000, 4*line), 0xFC0)
+	// Expect three pieces: src 0xFC0 (1 line, not redirected),
+	// src 0x8000 (2 lines, redirected), src 0x10C0->? (1 line, not redirected).
+	if e := c.LookupDest(0x4000); e == nil || e.Src != 0xFC0 || e.Dst.Size != line {
+		t.Fatalf("head piece: %+v", e)
+	}
+	if e := c.LookupDest(0x4040); e == nil || e.Src != 0x8000 || e.Dst.Size != 2*line {
+		t.Fatalf("redirected piece: %+v", e)
+	}
+	if e := c.LookupDest(0x40C0); e == nil || e.Src != 0x1080 || e.Dst.Size != line {
+		t.Fatalf("tail piece: %+v", e)
+	}
+}
+
+func TestIdentityPieceDropped(t *testing.T) {
+	c := NewCTT(16)
+	// B <- A, then A <- B: the second collapses to A <- A and is dropped.
+	mustInsert(t, c, rng(0x1000, line), 0x8000)
+	mustInsert(t, c, rng(0x8000, line), 0x1000)
+	if c.LookupDest(0x8000) != nil {
+		t.Fatal("identity copy was tracked")
+	}
+	if c.Stats.Identities != 1 {
+		t.Fatalf("Identities = %d", c.Stats.Identities)
+	}
+	// The original entry must survive.
+	if c.LookupDest(0x1000) == nil {
+		t.Fatal("original entry lost")
+	}
+}
+
+func TestAdjacentMerge(t *testing.T) {
+	c := NewCTT(16)
+	// Element-by-element copies of a contiguous array merge into one entry.
+	for i := uint64(0); i < 8; i++ {
+		mustInsert(t, c, rng(0x1000+i*line, line), memdata.Addr(0x8000+i*line))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 merged entry", c.Len())
+	}
+	e := c.LookupDest(0x1000)
+	if e.Dst.Size != 8*line || e.Src != 0x8000 {
+		t.Fatalf("merged entry: %+v", e)
+	}
+	if c.Stats.Merges != 7 {
+		t.Fatalf("Merges = %d", c.Stats.Merges)
+	}
+}
+
+func TestMergeBackward(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1040, line), 0x8040)
+	mustInsert(t, c, rng(0x1000, line), 0x8000) // immediately before existing
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	e := c.LookupDest(0x1000)
+	if e.Dst.Size != 2*line || e.Src != 0x8000 {
+		t.Fatalf("merged entry: %+v", e)
+	}
+}
+
+func TestMergeRespectsMaxSize(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x400000, MaxEntrySize), 0x4000000)
+	// Adjacent in both dst and src, but merging would exceed 2 MB.
+	mustInsert(t, c, rng(0x400000+MaxEntrySize, line), 0x4000000+MaxEntrySize)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, merge exceeded 21-bit size", c.Len())
+	}
+}
+
+func TestNoMergeWhenSourcesDisjoint(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, line), 0x8000)
+	mustInsert(t, c, rng(0x1040, line), 0x9000) // adjacent dst, distant src
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestRemoveDestRange(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, 4*line), 0x8000)
+	// Write to the second line: the entry splits around it.
+	trimmed := c.RemoveDestRange(rng(0x1040, line))
+	if trimmed != line {
+		t.Fatalf("trimmed = %d", trimmed)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.LookupDest(0x1040) != nil {
+		t.Fatal("trimmed line still tracked")
+	}
+	if e := c.LookupDest(0x1000); e == nil || e.Dst.Size != line {
+		t.Fatalf("head: %+v", e)
+	}
+	if e := c.LookupDest(0x1080); e == nil || e.Src != 0x8080 || e.Dst.Size != 2*line {
+		t.Fatalf("tail: %+v", e)
+	}
+	// Removing a range nothing tracks returns 0.
+	if c.RemoveDestRange(rng(0x90000, line)) != 0 {
+		t.Fatal("untracked trim returned nonzero")
+	}
+}
+
+func TestSrcOverlapping(t *testing.T) {
+	c := NewCTT(16)
+	mustInsert(t, c, rng(0x1000, 2*line), 0x8000)
+	mustInsert(t, c, rng(0x4000, 2*line), 0x8040) // shares source line 0x8040
+	got := c.SrcOverlapping(rng(0x8040, line))
+	if len(got) != 2 {
+		t.Fatalf("SrcOverlapping found %d entries, want 2", len(got))
+	}
+	if got[0].ID >= got[1].ID {
+		t.Fatal("SrcOverlapping not in insertion order")
+	}
+	if !c.HasSrcOverlap(rng(0x8000, 1)) || c.HasSrcOverlap(rng(0x20000, line)) {
+		t.Fatal("HasSrcOverlap wrong")
+	}
+}
+
+func TestCapacityRefusalLeavesTableUnchanged(t *testing.T) {
+	c := NewCTT(2)
+	mustInsert(t, c, rng(0x1000, line), 0x8000)
+	mustInsert(t, c, rng(0x3000, line), 0x9000)
+	// This insert would split nothing and add one entry: over capacity.
+	if c.Insert(rng(0x5000, line), 0xA000) {
+		t.Fatal("Insert succeeded over capacity")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after refused insert", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// An exact overwrite frees as much as it adds and must succeed.
+	if !c.Insert(rng(0x1000, line), 0xB000) {
+		t.Fatal("replacement insert refused")
+	}
+}
+
+func TestSmallest(t *testing.T) {
+	c := NewCTT(16)
+	if c.Smallest() != nil {
+		t.Fatal("Smallest of empty table")
+	}
+	mustInsert(t, c, rng(0x1000, 4*line), 0x8000)
+	mustInsert(t, c, rng(0x3000, line), 0x9000)
+	mustInsert(t, c, rng(0x5000, 2*line), 0xA000)
+	if e := c.Smallest(); e.Dst.Start != 0x3000 {
+		t.Fatalf("Smallest = %+v", e)
+	}
+}
+
+func TestInsertAlignmentPanics(t *testing.T) {
+	c := NewCTT(16)
+	for name, fn := range map[string]func(){
+		"unaligned dst":  func() { c.Insert(rng(0x1001, line), 0x8000) },
+		"partial line":   func() { c.Insert(rng(0x1000, 32), 0x8000) },
+		"zero size":      func() { c.Insert(rng(0x1000, 0), 0x8000) },
+		"over huge page": func() { c.Insert(rng(0x1000, MaxEntrySize+line), 0x8000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Oracle-based randomized test.
+//
+// The oracle maps every destination byte to the "ultimate" source byte it
+// will be lazily filled from (or nothing if untracked). The CTT must agree:
+// for every tracked destination byte, following the entry's mapping and the
+// oracle's mapping must land at the same address.
+// ---------------------------------------------------------------------------
+
+type byteOracle struct {
+	m map[memdata.Addr]memdata.Addr // dst byte -> ultimate src byte
+}
+
+func newByteOracle() *byteOracle { return &byteOracle{m: make(map[memdata.Addr]memdata.Addr)} }
+
+func (o *byteOracle) insert(dst memdata.Range, src memdata.Addr) {
+	// Resolve each new destination byte through the existing mapping
+	// (chain collapse), dropping identities.
+	resolved := make([]memdata.Addr, dst.Size)
+	for i := uint64(0); i < dst.Size; i++ {
+		s := src + memdata.Addr(i)
+		if ult, ok := o.m[s]; ok {
+			s = ult
+		}
+		resolved[i] = s
+	}
+	for i := uint64(0); i < dst.Size; i++ {
+		d := dst.Start + memdata.Addr(i)
+		if resolved[i] == d {
+			delete(o.m, d)
+		} else {
+			o.m[d] = resolved[i]
+		}
+	}
+}
+
+func (o *byteOracle) removeDest(r memdata.Range) {
+	for i := uint64(0); i < r.Size; i++ {
+		delete(o.m, r.Start+memdata.Addr(i))
+	}
+}
+
+func TestCTTMatchesOracleRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	c := NewCTT(1 << 16) // effectively unbounded for this test
+	o := newByteOracle()
+
+	const region = 1 << 16 // keep addresses colliding often
+	randLineAddr := func() memdata.Addr {
+		return memdata.Addr(r.Intn(region/line)) * line
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch r.Intn(3) {
+		case 0, 1: // insert
+			size := uint64(1+r.Intn(8)) * line
+			dst := memdata.Range{Start: randLineAddr(), Size: size}
+			src := memdata.Addr(r.Intn(region)) // arbitrary byte alignment
+			c.Insert(dst, src)
+			o.insert(dst, src)
+		case 2: // remove a dest range (a write or MCFREE)
+			size := uint64(1+r.Intn(4)) * line
+			rr := memdata.Range{Start: randLineAddr(), Size: size}
+			c.RemoveDestRange(rr)
+			o.removeDest(rr)
+		}
+		if step%100 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full cross-check over the region.
+	for a := memdata.Addr(0); a < region; a++ {
+		e := c.LookupDest(a)
+		want, tracked := o.m[a]
+		if e == nil {
+			if tracked {
+				t.Fatalf("byte %#x: oracle tracked -> %#x, CTT untracked", a, want)
+			}
+			continue
+		}
+		got := e.SrcFor(a)
+		if !tracked {
+			t.Fatalf("byte %#x: CTT tracked -> %#x, oracle untracked", a, got)
+		}
+		if got != want {
+			t.Fatalf("byte %#x: CTT -> %#x, oracle -> %#x", a, got, want)
+		}
+	}
+}
+
+func BenchmarkCTTInsertLookup(b *testing.B) {
+	c := NewCTT(2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst := rng(uint64(i%1000)*4096, 16*line)
+		c.Insert(dst, memdata.Addr(0x10000000+uint64(i%997)*4096))
+		c.LookupDest(dst.Start + 64)
+		if c.Len() > 1500 {
+			c.RemoveDestRange(dst)
+		}
+	}
+}
+
+// Property: PreviewSources predicts exactly the source ranges the insert
+// creates (same table state, no mutation by the preview).
+func TestPreviewSourcesMatchesInsertQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		c := NewCTT(1 << 12)
+		// Seed with a few random entries.
+		for i := 0; i < 5; i++ {
+			size := uint64(1+r.Intn(6)) * line
+			dst := memdata.Addr(r.Intn(1<<14)) &^ (line - 1)
+			src := memdata.Addr(r.Intn(1 << 14))
+			c.Insert(memdata.Range{Start: dst, Size: size}, src)
+		}
+		size := uint64(1+r.Intn(6)) * line
+		dst := memdata.Range{Start: memdata.Addr(r.Intn(1<<14)) &^ (line - 1), Size: size}
+		src := memdata.Addr(r.Intn(1 << 14))
+
+		preview := c.PreviewSources(dst, src)
+		before := c.Len()
+		if !c.Insert(dst, src) {
+			t.Fatal("insert refused with huge capacity")
+		}
+		_ = before
+		// Every byte of the inserted destination must map to the source
+		// byte the preview predicted.
+		pi := 0
+		off := uint64(0)
+		for _, e := range c.DestCover(dst) {
+			part := e.Dst.Intersect(dst)
+			for b := uint64(0); b < part.Size; b++ {
+				want := e.SrcFor(part.Start + memdata.Addr(b))
+				// Advance through preview ranges to find the matching byte.
+				for pi < len(preview) && off >= preview[pi].Size {
+					pi++
+					off = 0
+				}
+				if pi >= len(preview) {
+					break // identity-dropped bytes have no preview range
+				}
+				got := preview[pi].Start + memdata.Addr(off)
+				if got != want {
+					t.Fatalf("trial %d: preview %#x != actual %#x", trial, got, want)
+				}
+				off++
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

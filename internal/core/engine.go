@@ -1,0 +1,670 @@
+package core
+
+import (
+	"fmt"
+
+	"mcsquare/internal/memctrl"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// Params configures the lazy-copy engine. The defaults mirror the paper's
+// simulated configuration (Table I and §III).
+type Params struct {
+	CTTCapacity   int       // entries per CTT (paper: 2,048)
+	BPQCapacity   int       // held source writes per MC (paper: 8)
+	FreeThreshold float64   // CTT occupancy that triggers async freeing (paper: 0.50)
+	ParallelFrees int       // entries freed in parallel per MC (paper sweeps 1–8)
+	CTTLatency    sim.Cycle // table lookup, charged on bounces (paper: 0.79 ns ≈ 3 cycles)
+	HopLatency    sim.Cycle // one interconnect hop between controllers
+	WPQRejectFrac float64   // bounce writeback refused above this WPQ occupancy (paper: 0.75)
+	// FreePacing is the gap each async-free worker leaves between line
+	// copies, bounding the freeing machinery's bandwidth so it does not
+	// interfere with demand traffic (§V-C: "(MC)² limits the outstanding
+	// asynchronous copies per memory controller"). Parallelism, not pace,
+	// is then the knob that relieves CTT-full stalls (Fig 22).
+	FreePacing sim.Cycle
+
+	// WritebackOnBounce controls the §III-B2 optimization of writing a
+	// reconstructed destination line back to memory. Disabling it is the
+	// "No writeback" ablation of Fig 13.
+	WritebackOnBounce bool
+	// DisableMerge turns off CTT adjacency merging (ablation): contiguous
+	// copies then consume one entry each, pressuring capacity.
+	DisableMerge bool
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		CTTCapacity:       2048,
+		BPQCapacity:       8,
+		FreeThreshold:     0.5,
+		ParallelFrees:     1,
+		CTTLatency:        3,
+		HopLatency:        24,
+		WPQRejectFrac:     0.75,
+		FreePacing:        160,
+		WritebackOnBounce: true,
+	}
+}
+
+// EngineStats counts lazy-copy activity.
+type EngineStats struct {
+	LazyOps         uint64 // MCLAZY operations accepted
+	LazyBytes       uint64 // bytes covered by accepted MCLAZY operations
+	LazyStallsFull  uint64 // MCLAZY stalled on a full CTT
+	LazyStallsBPQ   uint64 // MCLAZY stalled on BPQ-held lines
+	LazyStallCycles uint64 // total cycles MCLAZY operations spent stalled
+
+	Bounces          uint64 // destination reads redirected to sources
+	BounceSrcReads   uint64 // source-line reads issued for bounces
+	BounceWritebacks uint64 // reconstructed lines written back to memory
+	WritebackRejects uint64 // writebacks refused (WPQ over threshold)
+	MemFills         uint64 // bounce bytes taken from memory (partially tracked lines)
+
+	BPQHolds      uint64 // source writes held in a BPQ
+	BPQMerges     uint64 // CPU writes merged into a held line
+	BPQForwards   uint64 // CPU reads serviced from a held line
+	BPQStallsFull uint64 // writes that waited for a BPQ slot
+	BPQCopies     uint64 // destination lines lazily copied due to source writes
+
+	DroppedInternal uint64 // internal writes dropped against newer held writes
+
+	Frees      uint64 // entries evicted by asynchronous freeing
+	FreedBytes uint64
+	MCFrees    uint64 // MCFREE operations
+}
+
+type heldWrite struct {
+	data []byte
+}
+
+type bpq struct {
+	used    int
+	waiters []func()
+}
+
+type pendingLazy struct {
+	dst       memdata.Range
+	src       memdata.Addr
+	done      func()
+	since     sim.Cycle
+	queued    bool
+	fullStall bool // stalled on a full CTT (vs a BPQ conflict)
+}
+
+// Engine is the (MC)² lazy-copy machinery shared by all memory controllers.
+// It installs per-controller hooks (HookFor) and serves MCLAZY/MCFREE
+// operations arriving from the interconnect. All methods run in engine
+// (event) context.
+type Engine struct {
+	eng   *sim.Engine
+	p     Params
+	ctt   *CTT
+	mcs   []*memctrl.Controller
+	route func(memdata.Addr) int
+
+	bpqs        []bpq
+	held        map[memdata.Addr]*heldWrite
+	heldWaiters []func() // BPQ finishes waiting on other held lines
+	pending     []*pendingLazy
+	freeWorkers int
+	freeing     map[uint64]bool // entry IDs claimed by a free worker
+	// destGen counts CPU writes observed per line. Reconstructed lines
+	// (bounce writebacks, BPQ cascades, async frees) capture the counter
+	// when their value is composed and drop themselves if a newer CPU
+	// write arrived meanwhile (Fig 9: "bounce requests for D are dropped").
+	destGen map[memdata.Addr]uint64
+
+	Stats EngineStats
+}
+
+// NewEngine creates the lazy-copy engine over the given controllers.
+// route maps a physical address to the index of its owning controller.
+func NewEngine(eng *sim.Engine, p Params, mcs []*memctrl.Controller, route func(memdata.Addr) int) *Engine {
+	e := &Engine{
+		eng:     eng,
+		p:       p,
+		ctt:     newCTT(p.CTTCapacity, p.DisableMerge),
+		mcs:     mcs,
+		route:   route,
+		bpqs:    make([]bpq, len(mcs)),
+		held:    make(map[memdata.Addr]*heldWrite),
+		freeing: make(map[uint64]bool),
+		destGen: make(map[memdata.Addr]uint64),
+	}
+	for i := range mcs {
+		mcs[i].SetHook(&mcHook{e: e, mc: i})
+	}
+	return e
+}
+
+// CTT exposes the table (stats, tests).
+func (e *Engine) CTT() *CTT { return e.ctt }
+
+// Idle reports whether no lazy-copy machinery is in flight.
+func (e *Engine) Idle() bool {
+	return len(e.held) == 0 && len(e.heldWaiters) == 0 && len(e.pending) == 0 && e.freeWorkers == 0
+}
+
+// mcHook adapts the engine to one controller's memctrl.Hook.
+type mcHook struct {
+	e  *Engine
+	mc int
+}
+
+func (h *mcHook) FilterRead(a memdata.Addr, done func([]byte)) bool {
+	return h.e.filterRead(h.mc, a, done)
+}
+
+func (h *mcHook) FilterWrite(a memdata.Addr, data []byte, release func()) bool {
+	return h.e.filterWrite(h.mc, a, data, release)
+}
+
+func lineRange(a memdata.Addr) memdata.Range {
+	return memdata.Range{Start: memdata.LineAlign(a), Size: memdata.LineSize}
+}
+
+// ---------------------------------------------------------------------------
+// Read path (§III-B2: "Read from destination", "Read from source")
+// ---------------------------------------------------------------------------
+
+func (e *Engine) filterRead(mc int, a memdata.Addr, done func([]byte)) bool {
+	if !memdata.IsLineAligned(a) {
+		panic(fmt.Sprintf("core: controller read of unaligned address %#x", a))
+	}
+	// Reads of a BPQ-held source line are serviced from the BPQ (state 3).
+	if hw, ok := e.held[a]; ok {
+		e.Stats.BPQForwards++
+		data := append([]byte(nil), hw.data...)
+		e.eng.After(e.p.CTTLatency, func() { done(data) })
+		return true
+	}
+	if len(e.ctt.DestCover(lineRange(a))) == 0 {
+		return false // untracked, or read-from-source: proceed normally
+	}
+	// Read from destination: bounce to the source (Fig 7). The CTT lookup
+	// preempts the DRAM access, then the request crosses the interconnect.
+	e.Stats.Bounces++
+	e.eng.After(e.p.CTTLatency+e.p.HopLatency, func() {
+		gen := e.destGen[a]
+		e.composeDestLine(a, func(data []byte) {
+			e.eng.After(e.p.HopLatency, func() { done(data) })
+			e.maybeWriteback(a, gen, data)
+		})
+	})
+	return true
+}
+
+// maybeWriteback sends a reconstructed destination line to memory so that
+// future reads are serviced normally — unless the destination controller's
+// WPQ is too full (the paper's 75% rule, §III-B2).
+func (e *Engine) maybeWriteback(a memdata.Addr, gen uint64, data []byte) {
+	if !e.p.WritebackOnBounce {
+		return
+	}
+	mc := e.mcs[e.route(a)]
+	if mc.WPQOccupancy() >= e.p.WPQRejectFrac {
+		e.Stats.WritebackRejects++
+		return
+	}
+	e.Stats.BounceWritebacks++
+	// The write goes through the full hooked path: it trims the CTT entry
+	// and, if this line is itself the source of another prospective copy,
+	// triggers the dependent lazy copies first.
+	e.writeReconstructed(a, gen, data, func() {})
+}
+
+// writeReconstructed lands a lazily reconstructed destination line unless
+// a CPU write to it arrived after the value was composed, in which case
+// the reconstruction is stale and dropped.
+func (e *Engine) writeReconstructed(a memdata.Addr, gen uint64, data []byte, done func()) {
+	if e.destGen[a] != gen {
+		e.Stats.DroppedInternal++
+		e.eng.After(0, done)
+		return
+	}
+	e.hookedWrite(a, data, done, false)
+}
+
+// composeDestLine reconstructs the 64-byte destination line at a: bytes
+// covered by CTT entries are fetched from their sources (snapshot at call
+// time), remaining bytes from memory. cb receives the completed line once
+// all fetches finish.
+func (e *Engine) composeDestLine(a memdata.Addr, cb func([]byte)) {
+	lr := lineRange(a)
+	type seg struct {
+		part memdata.Range // destination bytes within the line
+		src  memdata.Addr  // source of part.Start
+	}
+	var segs []seg
+	covered := uint64(0)
+	for _, ent := range e.ctt.DestCover(lr) {
+		part := ent.Dst.Intersect(lr)
+		segs = append(segs, seg{part: part, src: ent.SrcFor(part.Start)})
+		covered += part.Size
+	}
+
+	// Determine every line we must read: the needed source lines, plus the
+	// destination line itself when entries don't cover it fully.
+	needs := map[memdata.Addr][]byte{}
+	var order []memdata.Addr
+	addNeed := func(l memdata.Addr) {
+		if _, ok := needs[l]; !ok {
+			needs[l] = nil
+			order = append(order, l)
+		}
+	}
+	for _, s := range segs {
+		for _, l := range (memdata.Range{Start: s.src, Size: s.part.Size}).Lines() {
+			addNeed(l)
+		}
+	}
+	if covered < memdata.LineSize {
+		e.Stats.MemFills++
+		addNeed(a)
+	}
+
+	remaining := len(order)
+	finish := func() {
+		out := make([]byte, memdata.LineSize)
+		if covered < memdata.LineSize {
+			copy(out, needs[a])
+		}
+		for _, s := range segs {
+			for i := uint64(0); i < s.part.Size; i++ {
+				sb := s.src + memdata.Addr(i)
+				out[s.part.Start-a+memdata.Addr(i)] = needs[memdata.LineAlign(sb)][memdata.LineOffset(sb)]
+			}
+		}
+		cb(out)
+	}
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, l := range order {
+		l := l
+		e.Stats.BounceSrcReads++
+		e.mcs[e.route(l)].RawReadLineSnapshot(l, func(d []byte) {
+			needs[l] = d
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Write path (§III-B2: "Write to destination", "Write to source")
+// ---------------------------------------------------------------------------
+
+func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, release func()) bool {
+	if !memdata.IsLineAligned(a) {
+		panic(fmt.Sprintf("core: controller write of unaligned address %#x", a))
+	}
+	// Every CPU write invalidates in-flight reconstructions of this line.
+	e.destGen[a]++
+	// Writes to a held line merge into the BPQ entry (state 3).
+	if hw, ok := e.held[a]; ok {
+		e.Stats.BPQMerges++
+		copy(hw.data, data)
+		e.eng.After(e.p.CTTLatency, release)
+		return true
+	}
+	if !e.ctt.HasSrcOverlap(lineRange(a)) {
+		// Write to destination (or untracked): stop tracking the line and
+		// let the controller perform the write normally.
+		e.ctt.RemoveDestRange(lineRange(a))
+		e.wakePending()
+		return false
+	}
+	// Write to source: hold in the BPQ while the lazy copies execute.
+	e.acquireBPQ(mc, func() {
+		e.processSrcWrite(mc, a, data, release, true)
+	})
+	return true
+}
+
+// hookedWrite routes an engine-generated write through the same consistency
+// rules as a CPU write (trim destinations, cascade through sources), but
+// without consuming a CPU-visible BPQ slot when useBPQ is false — internal
+// cascades are the controller's own machinery.
+func (e *Engine) hookedWrite(a memdata.Addr, data []byte, release func(), useBPQ bool) {
+	if _, ok := e.held[a]; ok {
+		// A CPU write to this line is already held in a BPQ and is newer
+		// than this reconstructed value: drop the internal write (Fig 9
+		// state 6: "bounce requests for D are dropped on reaching this
+		// state"). The held write's processing removes the tracking.
+		e.Stats.DroppedInternal++
+		e.eng.After(e.p.CTTLatency, release)
+		return
+	}
+	mc := e.route(a)
+	if !e.ctt.HasSrcOverlap(lineRange(a)) {
+		e.ctt.RemoveDestRange(lineRange(a))
+		e.wakePending()
+		e.mcs[mc].RawWriteLine(a, data, release)
+		return
+	}
+	if useBPQ {
+		e.acquireBPQ(mc, func() { e.processSrcWrite(mc, a, data, release, true) })
+	} else {
+		e.processSrcWrite(mc, a, data, release, false)
+	}
+}
+
+// processSrcWrite implements states 3–6 of Fig 9: the write to a tracked
+// source line is held; every destination line that prospectively copies
+// from it is reconstructed (from memory, not the held data) and written;
+// then the held write proceeds to memory.
+func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, release func(), slotHeld bool) {
+	e.Stats.BPQHolds++
+	hw := &heldWrite{data: append([]byte(nil), data...)}
+	e.held[a] = hw
+	// The BPQ is a posted buffer: the writer proceeds once the write is
+	// held (reads forward from the BPQ); the memory write lands after the
+	// dependent lazy copies complete.
+	e.eng.After(e.p.CTTLatency, release)
+
+	// Collect the destination lines depending on this source line.
+	lr := lineRange(a)
+	depLines := map[memdata.Addr]bool{}
+	var order []memdata.Addr
+	for _, ent := range e.ctt.SrcOverlapping(lr) {
+		ov := ent.SrcRange().Intersect(lr)
+		dst := memdata.Range{Start: ent.Dst.Start + (ov.Start - ent.Src), Size: ov.Size}
+		for _, dl := range dst.Lines() {
+			if !depLines[dl] {
+				depLines[dl] = true
+				order = append(order, dl)
+			}
+		}
+	}
+
+	remaining := len(order)
+	var finish func()
+	finish = func() {
+		// The paper's rule (Fig 9 state 4): the held write may only proceed
+		// once no entry references this source line. A reference can
+		// legitimately outlive our copies when the dependent destination
+		// line is itself held in another BPQ — its tracking is removed by
+		// that write's completion, so wait for it. Anything else is a bug.
+		if e.ctt.HasSrcOverlap(lr) {
+			for _, ent := range e.ctt.SrcOverlapping(lr) {
+				ov := ent.SrcRange().Intersect(lr)
+				dst := memdata.Range{Start: ent.Dst.Start + (ov.Start - ent.Src), Size: ov.Size}
+				for _, dl := range dst.Lines() {
+					if _, held := e.held[dl]; !held {
+						panic(fmt.Sprintf("core: source %#x still referenced by entry %d after BPQ processing", a, ent.ID))
+					}
+				}
+			}
+			e.heldWaiters = append(e.heldWaiters, finish)
+			return
+		}
+		// The held line may itself have been a tracked destination.
+		e.ctt.RemoveDestRange(lr)
+		delete(e.held, a)
+		e.mcs[mc].RawWriteLine(a, hw.data, func() {})
+		if slotHeld {
+			e.releaseBPQ(mc)
+		}
+		e.runHeldWaiters()
+		e.wakePending()
+	}
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, dl := range order {
+		dl := dl
+		e.Stats.BPQCopies++
+		gen := e.destGen[dl]
+		e.composeDestLine(dl, func(lineData []byte) {
+			// Writing the reconstructed line trims its CTT entries and
+			// cascades if the line is a source elsewhere.
+			e.writeReconstructed(dl, gen, lineData, func() {
+				remaining--
+				if remaining == 0 {
+					finish()
+				}
+			})
+		})
+	}
+}
+
+// runHeldWaiters retries BPQ finishes that were waiting for other held
+// lines to drain.
+func (e *Engine) runHeldWaiters() {
+	if len(e.heldWaiters) == 0 {
+		return
+	}
+	waiters := e.heldWaiters
+	e.heldWaiters = nil
+	for _, w := range waiters {
+		w()
+	}
+}
+
+func (e *Engine) acquireBPQ(mc int, fn func()) {
+	q := &e.bpqs[mc]
+	if q.used < e.p.BPQCapacity {
+		q.used++
+		fn()
+		return
+	}
+	e.Stats.BPQStallsFull++
+	q.waiters = append(q.waiters, fn)
+}
+
+func (e *Engine) releaseBPQ(mc int) {
+	q := &e.bpqs[mc]
+	if len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		next()
+		return
+	}
+	q.used--
+}
+
+// ---------------------------------------------------------------------------
+// MCLAZY / MCFREE (§III-C)
+// ---------------------------------------------------------------------------
+
+// MCLazy records the prospective copy (dst ← src); done fires when every
+// controller has accepted the CTT update. The operation stalls while the
+// CTT is full or while BPQ-held lines overlap either buffer (Fig 9:
+// "prospective copies involving S1 or S2 are stalled").
+func (e *Engine) MCLazy(dst memdata.Range, src memdata.Addr, done func()) {
+	pl := &pendingLazy{dst: dst, src: src, done: done, since: e.eng.Now()}
+	e.tryLazy(pl)
+}
+
+func (e *Engine) tryLazy(pl *pendingLazy) {
+	if e.lazyConflicts(pl) {
+		if !pl.queued {
+			e.Stats.LazyStallsBPQ++
+			pl.queued = true
+			e.pending = append(e.pending, pl)
+		}
+		pl.fullStall = false
+		return
+	}
+	if !e.ctt.Insert(pl.dst, pl.src) {
+		if !pl.queued {
+			e.Stats.LazyStallsFull++
+			pl.queued = true
+			e.pending = append(e.pending, pl)
+		}
+		pl.fullStall = true
+		e.maybeStartFree(true)
+		return
+	}
+	if pl.queued {
+		e.Stats.LazyStallCycles += uint64(e.eng.Now() - pl.since)
+		for i, q := range e.pending {
+			if q == pl {
+				e.pending = append(e.pending[:i], e.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	// The insert redefines every destination line: any in-flight
+	// reconstruction composed under an older entry is now stale.
+	for _, l := range pl.dst.Lines() {
+		e.destGen[l]++
+	}
+	e.Stats.LazyOps++
+	e.Stats.LazyBytes += pl.dst.Size
+	e.maybeStartFree(false)
+	e.eng.After(e.p.CTTLatency, pl.done)
+}
+
+// lazyConflicts reports whether the prospective copy touches any BPQ-held
+// line: its destination, its source, or — crucially — any source it would
+// be redirected to by chain collapsing.
+func (e *Engine) lazyConflicts(pl *pendingLazy) bool {
+	if e.conflictsWithHeld(pl.dst) || e.conflictsWithHeld(memdata.Range{Start: pl.src, Size: pl.dst.Size}) {
+		return true
+	}
+	if len(e.held) == 0 {
+		return false
+	}
+	for _, sr := range e.ctt.PreviewSources(pl.dst, pl.src) {
+		if e.conflictsWithHeld(sr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) conflictsWithHeld(r memdata.Range) bool {
+	for _, l := range r.Lines() {
+		if _, ok := e.held[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// wakePending retries stalled MCLAZY operations after CTT or BPQ changes.
+func (e *Engine) wakePending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	queued := append([]*pendingLazy(nil), e.pending...)
+	for _, pl := range queued {
+		e.tryLazy(pl)
+	}
+}
+
+// MCFree hints that the buffer r is dead: tracking for every fully
+// contained destination line is dropped without copying (§III-C).
+func (e *Engine) MCFree(r memdata.Range, done func()) {
+	start := memdata.LineUp(r.Start)
+	end := memdata.LineAlign(r.End())
+	if end > start {
+		inner := memdata.Range{Start: start, Size: uint64(end - start)}
+		e.ctt.RemoveDestRange(inner)
+		// Freed lines are undefined; stale in-flight reconstructions must
+		// not land after the free and resurrect old data as fresh writes.
+		for _, l := range inner.Lines() {
+			e.destGen[l]++
+		}
+	}
+	e.Stats.MCFrees++
+	e.wakePending()
+	e.eng.After(e.p.CTTLatency, done)
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous freeing (§III-A1 "Avoiding CTT overflow", §V-C scalability)
+// ---------------------------------------------------------------------------
+
+func (e *Engine) freeTarget() int {
+	return int(e.p.FreeThreshold * float64(e.p.CTTCapacity))
+}
+
+// maybeStartFree spawns free workers while occupancy is at or above the
+// threshold. Each worker evicts the smallest entry by performing its copy,
+// then re-checks occupancy. force starts a worker even below threshold
+// (used when an MCLAZY stalled on a full table).
+func (e *Engine) maybeStartFree(force bool) {
+	limit := e.p.ParallelFrees * len(e.mcs)
+	for e.freeWorkers < limit && (e.ctt.Len() >= e.freeTarget() || (force && e.freeWorkers == 0 && e.ctt.Len() > 0)) {
+		e.freeWorkers++
+		e.freeWorker()
+		force = false
+	}
+}
+
+func (e *Engine) hasFullStall() bool {
+	for _, pl := range e.pending {
+		if pl.fullStall {
+			return true
+		}
+	}
+	return false
+}
+
+// pickFreeEntry returns the smallest unclaimed entry, or nil. Claiming
+// prevents parallel workers from redundantly copying the same entry.
+func (e *Engine) pickFreeEntry() *Entry {
+	var best *Entry
+	for _, ent := range e.ctt.Entries() {
+		if e.freeing[ent.ID] {
+			continue
+		}
+		if best == nil || ent.Dst.Size < best.Dst.Size ||
+			(ent.Dst.Size == best.Dst.Size && ent.ID < best.ID) {
+			best = ent
+		}
+	}
+	return best
+}
+
+func (e *Engine) freeWorker() {
+	if e.ctt.Len() < e.freeTarget() && !e.hasFullStall() {
+		e.freeWorkers--
+		return
+	}
+	ent := e.pickFreeEntry()
+	if ent == nil {
+		e.freeWorkers--
+		return
+	}
+	e.freeing[ent.ID] = true
+	e.Stats.Frees++
+	e.Stats.FreedBytes += ent.Dst.Size
+	lines := ent.Dst.Lines()
+	var step func(i int)
+	step = func(i int) {
+		// The entry may shrink or vanish while we work (writes, bounces).
+		for i < len(lines) && e.ctt.LookupDest(lines[i]) == nil {
+			i++
+		}
+		if i >= len(lines) {
+			delete(e.freeing, ent.ID)
+			e.eng.After(0, e.freeWorker)
+			return
+		}
+		dl := lines[i]
+		// Background freeing yields to demand traffic: back off while the
+		// destination controller's write queue is busy.
+		if e.mcs[e.route(dl)].WPQOccupancy() >= 0.5 {
+			e.eng.After(e.p.FreePacing, func() { step(i) })
+			return
+		}
+		gen := e.destGen[dl]
+		e.composeDestLine(dl, func(data []byte) {
+			e.writeReconstructed(dl, gen, data, func() {
+				e.eng.After(e.p.FreePacing, func() { step(i + 1) })
+			})
+		})
+	}
+	step(0)
+}

@@ -1,0 +1,137 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := DDR4Config()
+	c := NewChannel(cfg)
+	// First access to a closed bank: activate + CAS + burst.
+	d1 := c.Access(0, 0, false)
+	if d1 != cfg.TRCD+cfg.TCAS+cfg.TBL {
+		t.Fatalf("cold access done at %d", d1)
+	}
+	// Same row, after the bank is free: row hit, CAS + burst only.
+	d2 := c.Access(d1, 64, false)
+	if d2-d1 != cfg.TCAS+cfg.TBL {
+		t.Fatalf("row hit took %d cycles, want %d", d2-d1, cfg.TCAS+cfg.TBL)
+	}
+	if c.RowHits != 1 || c.RowMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.RowHits, c.RowMisses)
+	}
+	// Different row, same bank: precharge + activate + CAS. With bank
+	// hashing, rowID 17 maps to bank (17^1)%16 = 0, same as rowID 0.
+	rowStride := memdata.Addr(cfg.RowSize * 17)
+	if b, _ := c.mapAddr(rowStride); b != 0 {
+		t.Fatalf("test assumption broken: rowID 17 maps to bank %d", b)
+	}
+	d3 := c.Access(d2, rowStride, false)
+	if d3-d2 != cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBL {
+		t.Fatalf("row conflict took %d cycles", d3-d2)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := DDR4Config()
+	c := NewChannel(cfg)
+	// Two accesses to different banks issued at the same time overlap their
+	// activate latencies; they only serialize on the burst.
+	a0 := memdata.Addr(0)
+	a1 := memdata.Addr(cfg.RowSize) // next row ID -> next bank
+	d0 := c.Access(0, a0, false)
+	d1 := c.Access(0, a1, false)
+	if d1 != d0+cfg.TBL {
+		t.Fatalf("parallel banks: d0=%d d1=%d, want bus-serialized gap %d", d0, d1, cfg.TBL)
+	}
+	// Same-bank back-to-back accesses fully serialize.
+	c2 := NewChannel(cfg)
+	e0 := c2.Access(0, 0, false)
+	e1 := c2.Access(0, 64, false)
+	if e1 <= e0 {
+		t.Fatalf("same-bank accesses did not serialize: %d then %d", e0, e1)
+	}
+}
+
+func TestWriteRecovery(t *testing.T) {
+	cfg := DDR4Config()
+	c := NewChannel(cfg)
+	d0 := c.Access(0, 0, true)
+	// Next access to the same bank must wait tWR past the burst.
+	d1 := c.Access(d0, 64, false)
+	if d1-d0 < cfg.TWR {
+		t.Fatalf("write recovery not applied: gap %d < tWR %d", d1-d0, cfg.TWR)
+	}
+	if c.Writes != 1 || c.Reads != 1 {
+		t.Fatalf("writes=%d reads=%d", c.Writes, c.Reads)
+	}
+}
+
+func TestSequentialStreamMostlyRowHits(t *testing.T) {
+	cfg := DDR4Config()
+	c := NewChannel(cfg)
+	now := sim.Cycle(0)
+	lines := 4 * int(cfg.RowSize/64) // 4 rows worth
+	for i := 0; i < lines; i++ {
+		now = c.Access(now, memdata.Addr(i*64), false)
+	}
+	if c.RowMisses != 4 {
+		t.Fatalf("sequential stream row misses = %d, want 4", c.RowMisses)
+	}
+	if c.RowHits != uint64(lines-4) {
+		t.Fatalf("row hits = %d, want %d", c.RowHits, lines-4)
+	}
+}
+
+// Property: completion times are monotone in issue time and never precede
+// issue + minimum latency.
+func TestAccessMonotoneQuick(t *testing.T) {
+	cfg := DDR4Config()
+	f := func(addrs []uint32) bool {
+		c := NewChannel(cfg)
+		now := sim.Cycle(0)
+		prev := sim.Cycle(0)
+		for _, raw := range addrs {
+			a := memdata.LineAlign(memdata.Addr(raw))
+			done := c.Access(now, a, raw%3 == 0)
+			if done < now+cfg.TCAS+cfg.TBL {
+				return false // faster than best case
+			}
+			if done < prev {
+				return false // bus went backwards
+			}
+			prev = done
+			now += 3
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAddrCoversBanks(t *testing.T) {
+	cfg := DDR4Config()
+	c := NewChannel(cfg)
+	seen := map[int]bool{}
+	for i := 0; i < cfg.Banks*2; i++ {
+		b, _ := c.mapAddr(memdata.Addr(uint64(i) * cfg.RowSize))
+		seen[b] = true
+	}
+	if len(seen) != cfg.Banks {
+		t.Fatalf("row-interleave touched %d banks, want %d", len(seen), cfg.Banks)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChannel with zero banks did not panic")
+		}
+	}()
+	NewChannel(Config{})
+}

@@ -1,0 +1,229 @@
+package figures
+
+import (
+	"fmt"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/softmc"
+	"mcsquare/internal/stats"
+	"mcsquare/internal/workloads/kvsnap"
+	"mcsquare/internal/workloads/mvcc"
+	"mcsquare/internal/workloads/protobuf"
+)
+
+func init() {
+	extra = append(extra,
+		Generator{"ablations", "design-choice ablations beyond the paper's figures", Ablations},
+		Generator{"pollution", "cache pollution with eager vs lazy copies (§III-F)", Pollution},
+	)
+}
+
+// Ablations quantifies design choices the paper motivates but does not
+// sweep directly: CTT adjacency merging, the bounce writeback, the
+// interposer threshold, and the kernel's ranged flush versus the user-space
+// wrapper's per-line CLWBs for huge-page copies.
+func Ablations(o Options) []*stats.Table {
+	out := []*stats.Table{}
+
+	// 1. Merge ablation on the paper's motivating pattern (§III-A1:
+	// "element-by-element copies of an array"): per-element lazy copies of
+	// contiguous cachelines, on a CTT smaller than the element count.
+	merge := stats.NewTable("Ablation: CTT adjacency merging (element-wise array copy, 512-entry CTT)",
+		"variant", "cycles", "ctt_highwater", "entries_created")
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		p := machine.DefaultParams()
+		p.Lazy.CTTCapacity = 512
+		p.Lazy.DisableMerge = disable
+		m := machine.New(p)
+		const elems = 2048 // 2048 x 64B elements = 128 KB array
+		src := m.AllocPage(elems * memdata.LineSize)
+		dst := m.AllocPage(elems * memdata.LineSize)
+		m.FillRandom(src, elems*memdata.LineSize, 1)
+		var dur uint64
+		m.Run(func(c *cpu.Core) {
+			start := c.Now()
+			for i := 0; i < elems; i++ {
+				off := memdata.Addr(i * memdata.LineSize)
+				c.MCLazy(memdata.Range{Start: dst + off, Size: memdata.LineSize}, src+off)
+			}
+			c.Fence()
+			dur = uint64(c.Now() - start)
+		})
+		name := "merge_on"
+		if disable {
+			name = "merge_off"
+		}
+		merge.AddRow(name, dur, m.Lazy.CTT().Stats.HighWater, m.Lazy.CTT().Stats.Pieces)
+	}
+	out = append(out, merge)
+
+	// 2. Interposer threshold sweep: where should copy_interpose.so draw
+	// the lazy/eager line? (The paper uses 1 KB for Protobuf.)
+	thr := stats.NewTable("Ablation: interposer threshold (Protobuf runtime, ms)",
+		"threshold", "runtime_ms")
+	for _, th := range []uint64{256, 512, 1024, 2048, 4096} {
+		res := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: th}))
+		thr.AddRow(th, stats.CyclesToMs(uint64(res.Cycles)))
+	}
+	out = append(out, thr)
+
+	// 3. Kernel ranged flush vs wrapper CLWBs for a huge-page lazy copy
+	// (§V-A1 suggests ranged writeback as future work; the simulated kernel
+	// already uses it via MCLAZY's sweep).
+	flush := stats.NewTable("Ablation: 2MB lazy copy, instruction sweep vs per-line CLWB wrapper",
+		"variant", "cycles")
+	size := uint64(memdata.HugePageSize)
+	if o.Quick {
+		size = 256 << 10
+	}
+	for _, wrapper := range []bool{false, true} {
+		wrapper := wrapper
+		p := machine.DefaultParams()
+		p.MemSize = 512 << 20
+		m := machine.New(p)
+		src := m.Alloc(size, size)
+		dst := m.Alloc(size, size)
+		m.FillRandom(src, size, 1)
+		var dur uint64
+		m.Run(func(c *cpu.Core) {
+			start := c.Now()
+			if wrapper {
+				softmc.MemcpyLazy(c, dst, src, size) // per-line CLWBs
+			} else {
+				// The kernel path: one MCLAZY per 2 MB-bounded chunk; the
+				// instruction's ranged sweep handles writeback.
+				for off := uint64(0); off < size; off += memdata.HugePageSize {
+					n := min(uint64(memdata.HugePageSize), size-off)
+					c.MCLazy(memdata.Range{Start: dst + memdata.Addr(off), Size: n}, src+memdata.Addr(off))
+				}
+				c.Fence()
+			}
+			dur = uint64(c.Now() - start)
+		})
+		name := "instruction_sweep"
+		if wrapper {
+			name = "wrapper_clwb_per_line"
+		}
+		flush.AddRow(name, dur)
+	}
+	out = append(out, flush)
+	return out
+}
+
+// Pollution measures the §III-F claim that lazy copies avoid cache
+// pollution: a working set is kept warm while a large unrelated copy runs;
+// the working set's re-access misses measure how much the copy evicted.
+func Pollution(o Options) []*stats.Table {
+	tb := stats.NewTable("Cache pollution: working-set L2 misses after a large copy (§III-F)",
+		"mechanism", "ws_l2_misses_after_copy", "copy_cycles")
+	// The copy's source + destination (2x 1.5 MB of traffic) overflow the
+	// 2 MB L2 when eager, evicting the warm working set; a lazy copy
+	// touches neither buffer.
+	wsSize := uint64(1 << 20)
+	copySize := uint64(1536 << 10)
+	for _, lazy := range []bool{false, true} {
+		lazy := lazy
+		p := machine.DefaultParams()
+		p.LazyEnabled = true
+		m := machine.New(p)
+		ws := m.AllocPage(wsSize)
+		src := m.AllocPage(copySize)
+		dst := m.AllocPage(copySize)
+		m.FillRandom(ws, wsSize, 1)
+		m.FillRandom(src, copySize, 2)
+		var misses, dur uint64
+		m.Run(func(c *cpu.Core) {
+			// Warm the working set.
+			m.Warm(c, memdata.Range{Start: ws, Size: wsSize})
+			// Run the copy.
+			t0 := c.Now()
+			if lazy {
+				softmc.MemcpyLazy(c, dst, src, copySize)
+			} else {
+				softmc.MemcpyEager(c, dst, src, copySize)
+			}
+			dur = uint64(c.Now() - t0)
+			// Re-walk the working set; L2 misses measure what the copy
+			// evicted (L1 misses are inevitable for a 1 MB set).
+			m0 := m.Hier.Stats.L2Misses
+			m.Warm(c, memdata.Range{Start: ws, Size: wsSize})
+			misses = m.Hier.Stats.L2Misses - m0
+		})
+		name := "memcpy"
+		if lazy {
+			name = "mc2"
+		}
+		tb.AddRow(name, misses, dur)
+	}
+	return []*stats.Table{tb}
+}
+
+func init() {
+	extra = append(extra,
+		Generator{"scaling", "memory-system scaling: channels and interconnect bandwidth", Scaling})
+}
+
+// Scaling sweeps the memory-system resources the paper's §V-C scalability
+// argument leans on ("servers provision memory bandwidth proportional to
+// cores"): DRAM channel count and cache-to-controller interconnect
+// bandwidth, under the 8-thread MVCC workload with (MC)².
+func Scaling(o Options) []*stats.Table {
+	chans := stats.NewTable("Scaling: MVCC 8-thread throughput (kOps/s) vs DRAM channels",
+		"channels", "baseline", "mc2")
+	for _, ch := range []int{1, 2, 4} {
+		ch := ch
+		base := mvcc.Run(mvcc.NewMachine(false, func(p *machine.Params) { p.Channels = ch }),
+			o.mvccCfg(false, 0.125, mvcc.RMW, 8))
+		lazy := mvcc.Run(mvcc.NewMachine(true, func(p *machine.Params) { p.Channels = ch }),
+			o.mvccCfg(true, 0.125, mvcc.RMW, 8))
+		chans.AddRow(ch, base.ThroughputKOps(), lazy.ThroughputKOps())
+	}
+
+	xcon := stats.NewTable("Scaling: MVCC 8-thread throughput (kOps/s) vs interconnect bandwidth",
+		"bytes_per_cycle", "baseline", "mc2")
+	for _, bw := range []float64{0, 32, 8} {
+		bw := bw
+		label := "unbounded"
+		if bw > 0 {
+			label = fmt.Sprintf("%.0f", bw)
+		}
+		base := mvcc.Run(mvcc.NewMachine(false, func(p *machine.Params) { p.XConBytesPerCycle = bw }),
+			o.mvccCfg(false, 0.125, mvcc.RMW, 8))
+		lazy := mvcc.Run(mvcc.NewMachine(true, func(p *machine.Params) { p.XConBytesPerCycle = bw }),
+			o.mvccCfg(true, 0.125, mvcc.RMW, 8))
+		xcon.AddRow(label, base.ThroughputKOps(), lazy.ThroughputKOps())
+	}
+	return []*stats.Table{chans, xcon}
+}
+
+func init() {
+	extra = append(extra,
+		Generator{"kvsnap", "KV store write-latency tail under fork snapshots (Redis scenario)", KVSnap})
+}
+
+// KVSnap runs the Redis-style snapshotting store: write latency percentiles
+// with the native and the (MC)² kernel, huge pages throughout.
+func KVSnap(o Options) []*stats.Table {
+	cfg := kvsnap.Config{Seed: 42}
+	if o.Quick {
+		cfg.StoreBytes, cfg.Ops, cfg.SnapshotEach = 8<<20, 60, 30
+	}
+	tb := stats.NewTable("KV store under fork snapshots: write latency (cycles)",
+		"kernel", "p50", "p99", "max", "cow_faults")
+	for _, lazy := range []bool{false, true} {
+		c := cfg
+		c.LazyCOW = lazy
+		res := kvsnap.Run(c)
+		name := "native"
+		if lazy {
+			name = "mc2"
+		}
+		tb.AddRow(name, res.Latencies.Percentile(50), res.Latencies.Percentile(99),
+			res.Latencies.Max(), res.COWFaults)
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,488 @@
+// Package figures regenerates every figure and table of the paper's
+// evaluation (§II and §V) as tab-separated tables, mirroring the artifact's
+// results/figureX.txt outputs. cmd/mcfigures and the root benchmark suite
+// are thin wrappers around this package.
+package figures
+
+import (
+	"fmt"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/softmc"
+	"mcsquare/internal/stats"
+	"mcsquare/internal/trace"
+	"mcsquare/internal/workloads/micro"
+	"mcsquare/internal/workloads/mongo"
+	"mcsquare/internal/workloads/mvcc"
+	"mcsquare/internal/workloads/oswl"
+	"mcsquare/internal/workloads/protobuf"
+	"mcsquare/internal/zio"
+)
+
+// Options scales the experiments. Quick mode shrinks buffers and operation
+// counts so the full set completes in minutes; the shapes survive scaling.
+type Options struct {
+	Quick bool
+}
+
+func (o Options) microOpt() micro.Options {
+	if o.Quick {
+		return micro.Quick()
+	}
+	return micro.Options{}
+}
+
+func (o Options) protoCfg(cp copykit.Copier) protobuf.Config {
+	cfg := protobuf.Config{Seed: 42, Copier: cp}
+	if o.Quick {
+		cfg.Ops, cfg.Burst = 192, 64
+	}
+	return cfg
+}
+
+func (o Options) mongoCfg(cp copykit.Copier) mongo.Config {
+	cfg := mongo.Config{Seed: 42, Copier: cp}
+	if o.Quick {
+		cfg.Inserts, cfg.Fields, cfg.FieldSize = 8, 4, 32<<10
+	}
+	return cfg
+}
+
+func (o Options) mvccCfg(lazy bool, frac float64, mode mvcc.Mode, threads int) mvcc.Config {
+	cfg := mvcc.Config{
+		Threads:        threads,
+		UpdateFraction: frac,
+		Mode:           mode,
+		Lazy:           lazy,
+		Seed:           42,
+	}
+	if o.Quick {
+		cfg.Rows, cfg.OpsPerThread = 128, 60
+	}
+	return cfg
+}
+
+// Generator produces the tables of one figure.
+type Generator struct {
+	ID    string // "2", "10", "16", "table1", ...
+	Title string
+	Run   func(o Options) []*stats.Table
+}
+
+// extra holds generators beyond the paper's figures (ablations, studies);
+// they register themselves from init functions.
+var extra []Generator
+
+// All returns every figure generator in paper order, followed by the
+// repository's own extension studies.
+func All() []Generator {
+	return append([]Generator{
+		{"2", "copy overhead across use cases", Figure2},
+		{"3", "source of Protobuf memcpy overhead", Figure3},
+		{"4", "distribution of Protobuf memcpy sizes", Figure4},
+		{"10", "copy latency", Figure10},
+		{"11", "memcpy_lazy overhead breakdown", Figure11},
+		{"12", "sequential destination access", Figure12},
+		{"13", "random destination access", Figure13},
+		{"14", "Protobuf runtime", Figure14},
+		{"15", "MongoDB insert latency", Figure15},
+		{"16", "MVCC RMW throughput", Figure16},
+		{"17", "MVCC write-only throughput", Figure17},
+		{"18", "huge-page COW write latencies", Figure18},
+		{"19", "pipe transfer throughput", Figure19},
+		{"20", "CTT size and threshold sweep", Figure20},
+		{"21", "BPQ size sweep", Figure21},
+		{"22", "parallel CTT freeing", Figure22},
+		{"table1", "simulated configuration", Table1},
+	}, extra...)
+}
+
+// ByID returns the generator for a figure id.
+func ByID(id string) (Generator, bool) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Motivation figures (§II)
+// ---------------------------------------------------------------------------
+
+// Figure2 measures the fraction of cycles spent copying in four use cases.
+func Figure2(o Options) []*stats.Table {
+	tb := stats.NewTable("Figure 2: copy overhead (fraction of cycles in memcpy)",
+		"workload", "copy_overhead")
+
+	pres := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	tb.AddRow("protobuf", float64(pres.CopyCycles)/float64(pres.Cycles))
+
+	mm := mongo.NewMachine(false)
+	mcfg := o.mongoCfg(nil)
+	mcfg.Copier = &timedCopier{inner: copykit.Eager{}}
+	mres := mongo.Run(mm, mcfg)
+	tc := mcfg.Copier.(*timedCopier)
+	tb.AddRow("mongodb_inserts", float64(tc.copyCycles)/float64(mres.Cycles))
+
+	// MVCC writes: compare update-heavy run against the same run with the
+	// version copies removed; the difference is copy overhead.
+	vcfg := o.mvccCfg(false, 0.125, mvcc.RMW, 1)
+	full := mvcc.Run(mvcc.NewMachine(false, nil), vcfg)
+	nocopy := mvcc.Run(mvcc.NewMachine(false, nil), func() mvcc.Config {
+		c := vcfg
+		c.RowSize = 64 // degenerate tuples: copies ~free, same txn count
+		return c
+	}())
+	frac := 1 - float64(nocopy.Cycles)/float64(full.Cycles)
+	if frac < 0 {
+		frac = 0
+	}
+	tb.AddRow("cicada_writes", frac)
+
+	// Fork + COW fault: share of the fault handler spent copying the page.
+	p := machine.DefaultParams()
+	m := machine.New(p)
+	k := oskern.New(m)
+	as := k.NewAddressSpace()
+	as.MapRegion(1<<30, memdata.PageSize, false)
+	var copyCycles, faultCycles uint64
+	m.Run(func(c *cpu.Core) {
+		as.Fork(c)
+		t0 := c.Now()
+		// Touch through the VM layer: triggers the COW fault.
+		as.Store(c, 1<<30, []byte{1})
+		c.Fence()
+		faultCycles = uint64(c.Now() - t0)
+	})
+	// The copy portion alone, measured on a fresh machine.
+	m2 := machine.New(p)
+	src := m2.AllocPage(memdata.PageSize)
+	dst := m2.AllocPage(memdata.PageSize)
+	m2.FillRandom(src, memdata.PageSize, 1)
+	m2.Run(func(c *cpu.Core) {
+		t0 := c.Now()
+		softmc.MemcpyEager(c, dst, src, memdata.PageSize)
+		copyCycles = uint64(c.Now() - t0)
+	})
+	tb.AddRow("fork_cow_fault_4K", float64(copyCycles)/float64(faultCycles))
+	return []*stats.Table{tb}
+}
+
+// timedCopier wraps a copier and accumulates cycles spent in Memcpy.
+type timedCopier struct {
+	inner      copykit.Copier
+	copyCycles uint64
+}
+
+func (t *timedCopier) Name() string { return t.inner.Name() }
+func (t *timedCopier) Memcpy(c *cpu.Core, dst, src memdata.Addr, n uint64) {
+	t0 := c.Now()
+	t.inner.Memcpy(c, dst, src, n)
+	t.copyCycles += uint64(c.Now() - t0)
+}
+func (t *timedCopier) Read(c *cpu.Core, a memdata.Addr, n uint64) []byte {
+	return t.inner.Read(c, a, n)
+}
+func (t *timedCopier) ReadAsync(c *cpu.Core, a memdata.Addr, n uint64) { t.inner.ReadAsync(c, a, n) }
+func (t *timedCopier) Write(c *cpu.Core, a memdata.Addr, data []byte)  { t.inner.Write(c, a, data) }
+func (t *timedCopier) Free(c *cpu.Core, r memdata.Range)               { t.inner.Free(c, r) }
+
+// Figure3 breaks down where Protobuf memcpy cycles go.
+func Figure3(o Options) []*stats.Table {
+	res := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	tb := stats.NewTable("Figure 3: source of Protobuf memcpy overhead (fractions during memcpy)",
+		"metric", "fraction")
+	missRate := float64(res.CopyL1Misses) / float64(res.CopyAccesses)
+	memMiss := 1 - float64(res.CopyIssue)/float64(res.CopyCycles)
+	stall := float64(res.CopyWindowStl) / float64(res.CopyCycles)
+	tb.AddRow("cache_miss", missRate)
+	tb.AddRow("mem_miss_cycles", memMiss)
+	tb.AddRow("mem_miss_stall_cycles", stall)
+	return []*stats.Table{tb}
+}
+
+// Figure4 emits the Protobuf copy-size CDF, both the model and a sampled
+// workload run.
+func Figure4(o Options) []*stats.Table {
+	res := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	tb := stats.NewTable("Figure 4: cumulative distribution of Protobuf memcpy sizes",
+		"size", "cdf_model", "cdf_measured")
+	sizes := trace.Fig4Sizes()
+	model := trace.Fig4CDF()
+	thresholds := make([]float64, len(sizes))
+	for i, s := range sizes {
+		thresholds[i] = float64(s)
+	}
+	measured := res.Sizes.CDF(thresholds)
+	for i, s := range sizes {
+		tb.AddRow(fmt.Sprintf("%dB", s), model[i], measured[i])
+	}
+	return []*stats.Table{tb}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks (§V-A, §V-C)
+// ---------------------------------------------------------------------------
+
+// Figure10 is the copy-latency sweep.
+func Figure10(o Options) []*stats.Table { return []*stats.Table{micro.CopyLatency(o.microOpt())} }
+
+// Figure11 is the memcpy_lazy overhead breakdown.
+func Figure11(o Options) []*stats.Table { return []*stats.Table{micro.Breakdown(o.microOpt())} }
+
+// Figure12 is the sequential destination access sweep.
+func Figure12(o Options) []*stats.Table { return []*stats.Table{micro.SeqAccess(o.microOpt())} }
+
+// Figure13 is the random destination access sweep.
+func Figure13(o Options) []*stats.Table { return []*stats.Table{micro.RandAccess(o.microOpt())} }
+
+// Figure21 is the BPQ sweep.
+func Figure21(o Options) []*stats.Table { return []*stats.Table{micro.SrcWrite(o.microOpt())} }
+
+// ---------------------------------------------------------------------------
+// Application workloads (§V-B)
+// ---------------------------------------------------------------------------
+
+// Figure14 compares Protobuf runtime across mechanisms.
+func Figure14(o Options) []*stats.Table {
+	tb := stats.NewTable("Figure 14: Protobuf runtime (ms)", "mechanism", "runtime_ms")
+	base := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	tb.AddRow("baseline", stats.CyclesToMs(uint64(base.Cycles)))
+	zm := protobuf.NewMachine(false, nil)
+	z := zio.New(oskern.New(zm))
+	zres := protobuf.Run(zm, o.protoCfg(z))
+	tb.AddRow("zio", stats.CyclesToMs(uint64(zres.Cycles)))
+	mc2 := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: 1024}))
+	tb.AddRow("mc2", stats.CyclesToMs(uint64(mc2.Cycles)))
+	return []*stats.Table{tb}
+}
+
+// Figure15 compares MongoDB insert latency across mechanisms.
+func Figure15(o Options) []*stats.Table {
+	tb := stats.NewTable("Figure 15: MongoDB average insertion latency (ms)", "mechanism", "latency_ms")
+	base := mongo.Run(mongo.NewMachine(false), o.mongoCfg(copykit.Eager{}))
+	tb.AddRow("baseline", base.AvgInsertMs())
+	zm := mongo.NewMachine(false)
+	z := zio.New(oskern.New(zm))
+	zres := mongo.Run(zm, o.mongoCfg(z))
+	tb.AddRow("zio", zres.AvgInsertMs())
+	mc2 := mongo.Run(mongo.NewMachine(true), o.mongoCfg(copykit.Lazy{Threshold: 1024}))
+	tb.AddRow("mc2", mc2.AvgInsertMs())
+	return []*stats.Table{tb}
+}
+
+// mvccFractions is the Fig 16/17 x-axis.
+func mvccFractions() []float64 { return []float64{0.0625, 0.125, 0.25, 0.5, 1.0} }
+
+func mvccSweep(o Options, mode mvcc.Mode, threads int, withNT bool) *stats.Table {
+	name := map[mvcc.Mode]string{mvcc.RMW: "read-modify-write", mvcc.WriteOnly: "write-only"}[mode]
+	cols := []string{"fraction", "baseline", "mc2"}
+	if withNT {
+		cols = append(cols, "mc2_nontemporal")
+	}
+	tb := stats.NewTable(fmt.Sprintf("MVCC %s throughput (kOps/s), %d thread(s)", name, threads), cols...)
+	for _, f := range mvccFractions() {
+		base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, f, mode, threads))
+		lazy := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mode, threads))
+		row := []interface{}{f, base.ThroughputKOps(), lazy.ThroughputKOps()}
+		if withNT {
+			nt := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
+			row = append(row, nt.ThroughputKOps())
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// Figure16 is the MVCC read-modify-write sweep (a: 1 thread, b: 8 threads).
+func Figure16(o Options) []*stats.Table {
+	return []*stats.Table{
+		mvccSweep(o, mvcc.RMW, 1, false),
+		mvccSweep(o, mvcc.RMW, 8, false),
+	}
+}
+
+// Figure17 is the MVCC write-only sweep with the non-temporal variant.
+func Figure17(o Options) []*stats.Table {
+	return []*stats.Table{
+		mvccSweep(o, mvcc.WriteOnly, 1, true),
+		mvccSweep(o, mvcc.WriteOnly, 8, true),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// OS experiments (§V-B)
+// ---------------------------------------------------------------------------
+
+// Figure18 records huge-page COW write latencies, native vs (MC)² kernel.
+func Figure18(o Options) []*stats.Table {
+	cfg := oswl.HugeCOWConfig{Seed: 42}
+	if o.Quick {
+		cfg.RegionBytes, cfg.Accesses = 16<<20, 40
+	}
+	native := oswl.HugeCOW(cfg)
+	cfg.Lazy = true
+	lazy := oswl.HugeCOW(cfg)
+	tb := stats.NewTable("Figure 18: write latencies with huge-page COW (cycles, access order)",
+		"access", "native", "mc2")
+	for i := range native {
+		tb.AddRow(i, native[i], lazy[i])
+	}
+	return []*stats.Table{tb}
+}
+
+// Figure19 measures pipe transfer throughput across transfer sizes.
+func Figure19(o Options) []*stats.Table {
+	tb := stats.NewTable("Figure 19: Linux pipe transfer throughput (bytes/kilocycle)",
+		"transfer", "native", "mc2")
+	transfers := 64
+	if o.Quick {
+		transfers = 24
+	}
+	for _, size := range []uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		n := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42})
+		l := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42, Lazy: true})
+		tb.AddRow(fmt.Sprintf("%dKB", size>>10), n, l)
+	}
+	return []*stats.Table{tb}
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity studies (§V-C)
+// ---------------------------------------------------------------------------
+
+// Figure20 sweeps CTT capacity and async-free threshold under Protobuf.
+func Figure20(o Options) []*stats.Table {
+	entries := []int{1024, 2048, 4096}
+	thresholds := []float64{0.25, 0.50, 0.75, 0.90}
+	if o.Quick {
+		entries = []int{256, 512, 1024}
+	}
+	rt := stats.NewTable("Figure 20a: Protobuf runtime (ms) by CTT entries x copy threshold",
+		append([]string{"entries"}, percentCols(thresholds)...)...)
+	type cell struct{ runtime, stalls float64 }
+	grid := map[int]map[float64]cell{}
+	var minS, maxS = 1e18, -1.0
+	for _, e := range entries {
+		grid[e] = map[float64]cell{}
+		for _, th := range thresholds {
+			e, th := e, th
+			m := protobuf.NewMachine(true, func(p *machine.Params) {
+				p.Lazy.CTTCapacity = e
+				p.Lazy.FreeThreshold = th
+			})
+			res := protobuf.Run(m, o.protoCfg(copykit.Lazy{Threshold: 1024}))
+			s := float64(m.Lazy.Stats.LazyStallCycles)
+			grid[e][th] = cell{runtime: stats.CyclesToMs(uint64(res.Cycles)), stalls: s}
+			minS, maxS = minFloat(minS, s), maxFloat(maxS, s)
+		}
+	}
+	for _, e := range entries {
+		row := []interface{}{e}
+		for _, th := range thresholds {
+			row = append(row, grid[e][th].runtime)
+		}
+		rt.AddRow(row...)
+	}
+	st := stats.NewTable("Figure 20b: max-min normalized MCLAZY stall cycles (full CTT)",
+		append([]string{"entries"}, percentCols(thresholds)...)...)
+	for _, e := range entries {
+		row := []interface{}{e}
+		for _, th := range thresholds {
+			v := 0.0
+			if maxS > minS {
+				v = (grid[e][th].stalls - minS) / (maxS - minS)
+			}
+			row = append(row, v)
+		}
+		st.AddRow(row...)
+	}
+	return []*stats.Table{rt, st}
+}
+
+func percentCols(ths []float64) []string {
+	out := make([]string, len(ths))
+	for i, t := range ths {
+		out[i] = fmt.Sprintf("thr%.0f%%", t*100)
+	}
+	return out
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figure22 sweeps parallel CTT freeing against thread count under MVCC.
+func Figure22(o Options) []*stats.Table {
+	threads := []int{1, 2, 4, 8}
+	frees := []int{1, 2, 4, 8}
+	cols := []string{"threads"}
+	for _, f := range frees {
+		cols = append(cols, fmt.Sprintf("free%d", f))
+	}
+	tb := stats.NewTable("Figure 22: MVCC throughput with (MC)², normalized to memcpy, by parallel CTT frees",
+		cols...)
+	// Pressure the CTT: small table of capacity relative to update rate.
+	ctt := 256
+	if !o.Quick {
+		ctt = 512
+	}
+	for _, th := range threads {
+		base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, 0.125, mvcc.RMW, th))
+		row := []interface{}{th}
+		for _, fr := range frees {
+			fr := fr
+			m := mvcc.NewMachine(true, func(p *machine.Params) {
+				p.Lazy.CTTCapacity = ctt
+				p.Lazy.ParallelFrees = fr
+			})
+			lazy := mvcc.Run(m, o.mvccCfg(true, 0.125, mvcc.RMW, th))
+			row = append(row, lazy.ThroughputKOps()/base.ThroughputKOps())
+		}
+		tb.AddRow(row...)
+	}
+	return []*stats.Table{tb}
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+// Table1 dumps the simulated configuration.
+func Table1(o Options) []*stats.Table {
+	p := machine.DefaultParams()
+	tb := stats.NewTable("Table I: simulated configuration", "parameter", "value")
+	rows := [][2]string{
+		{"CPUs", fmt.Sprintf("%d", p.Cores)},
+		{"Clock speed", "4 GHz"},
+		{"Private L1 cache", fmt.Sprintf("%d KB/CPU, stride prefetcher", p.Cache.L1Size>>10)},
+		{"Shared L2 cache", fmt.Sprintf("%d MB, stride prefetcher", p.Cache.L2Size>>20)},
+		{"DRAM channels", fmt.Sprintf("%d", p.Channels)},
+		{"DRAM config", "DDR4-like (tRCD=tRP=tCAS=14ns, 64B burst 2.5ns)"},
+		{"BPQ size", fmt.Sprintf("%d entries", p.Lazy.BPQCapacity)},
+		{"CTT entries", fmt.Sprintf("%d", p.Lazy.CTTCapacity)},
+		{"CTT latency", fmt.Sprintf("%.2f ns", float64(p.Lazy.CTTLatency)/4)},
+		{"Copy threshold", fmt.Sprintf("%.0f%%", p.Lazy.FreeThreshold*100)},
+		{"Modeled DRAM size", fmt.Sprintf("%d MB", p.MemSize>>20)},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1])
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,83 @@
+// Package interconnect models the link between the cache hierarchy and the
+// memory controllers (the paper's Fig 1): a point-to-point latency per hop
+// plus an optional shared-bandwidth constraint, and the broadcast facility
+// MCLAZY packets and CTT updates use (§III-B1 step 3).
+//
+// With BytesPerCycle = 0 (the default) the link is latency-only, matching
+// the fixed-hop model the rest of the simulator was calibrated with. A
+// finite bandwidth serializes transfers, which the channel-scaling study
+// uses to show interconnect saturation.
+package interconnect
+
+import (
+	"mcsquare/internal/sim"
+)
+
+// Config shapes one link direction.
+type Config struct {
+	// HopLatency is charged to every message.
+	HopLatency sim.Cycle
+	// BytesPerCycle caps throughput; 0 means unconstrained.
+	BytesPerCycle float64
+}
+
+// Stats counts link activity.
+type Stats struct {
+	Messages   uint64
+	Bytes      uint64
+	Broadcasts uint64
+	// QueueCycles accumulates time messages waited for bandwidth.
+	QueueCycles uint64
+}
+
+// Bus is one shared link. All methods run in engine (event) context.
+type Bus struct {
+	eng  *sim.Engine
+	cfg  Config
+	busy sim.Cycle // cycle until which the link is transmitting
+
+	Stats Stats
+}
+
+// New creates a bus.
+func New(eng *sim.Engine, cfg Config) *Bus {
+	return &Bus{eng: eng, cfg: cfg}
+}
+
+// Config returns the link configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Send delivers a message of the given size: fn runs after the hop latency
+// plus any bandwidth-induced queueing.
+func (b *Bus) Send(bytes uint64, fn func()) {
+	b.Stats.Messages++
+	b.Stats.Bytes += bytes
+	delay := b.cfg.HopLatency
+	if b.cfg.BytesPerCycle > 0 {
+		now := b.eng.Now()
+		start := max(now, b.busy)
+		xfer := sim.Cycle(float64(bytes) / b.cfg.BytesPerCycle)
+		if xfer == 0 {
+			xfer = 1
+		}
+		b.busy = start + xfer
+		queued := (start - now) + xfer
+		b.Stats.QueueCycles += uint64(start - now)
+		delay += queued
+	}
+	b.eng.After(delay, fn)
+}
+
+// Broadcast delivers a control message to every endpoint (the CTT update
+// broadcast): one hop, counted once, fn invoked per endpoint after the
+// latency. Control packets are small (16 bytes, one CTT entry).
+func (b *Bus) Broadcast(endpoints int, fn func(i int)) {
+	b.Stats.Broadcasts++
+	b.Stats.Messages++
+	b.Stats.Bytes += 16
+	b.eng.After(b.cfg.HopLatency, func() {
+		for i := 0; i < endpoints; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+// Package machine assembles the full simulated system — cores, caches,
+// interconnect, memory controllers, DRAM channels, and the (MC)² lazy-copy
+// engine — from one Params struct, and provides the allocation and
+// process-spawning conveniences every workload uses.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcsquare/internal/cache"
+	"mcsquare/internal/core"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/dram"
+	"mcsquare/internal/interconnect"
+	"mcsquare/internal/isa"
+	"mcsquare/internal/memctrl"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// Params configures a Machine. DefaultParams mirrors the paper's Table I.
+type Params struct {
+	Cores    int
+	MemSize  uint64 // bytes of physical memory to model
+	Channels int    // DRAM channels / memory controllers (power of two)
+
+	MC    memctrl.Config
+	DRAM  dram.Config
+	Cache cache.Config
+	CPU   cpu.Config
+	Lazy  core.Params
+
+	// XConBytesPerCycle caps the cache-to-controller interconnect
+	// bandwidth; 0 (default) models a latency-only link.
+	XConBytesPerCycle float64
+
+	// LazyEnabled installs the (MC)² engine; disable for pure-baseline
+	// machines (MCLAZY then panics if used).
+	LazyEnabled bool
+}
+
+// DefaultParams is the paper's simulated configuration (Table I): 8 cores
+// at 4 GHz, 64 KB L1s, 2 MB shared L2 with stride prefetchers, 2 DDR4
+// channels, 2,048-entry CTT, 8-entry BPQ. The paper models 3 GB of DRAM; we
+// default to 256 MB of backing store, which every workload fits in —
+// capacity is not a measured variable in any experiment.
+func DefaultParams() Params {
+	return Params{
+		Cores:       8,
+		MemSize:     256 << 20,
+		Channels:    2,
+		MC:          memctrl.DefaultConfig(),
+		DRAM:        dram.DDR4Config(),
+		Cache:       cache.DefaultConfig(8),
+		CPU:         cpu.DefaultConfig(),
+		Lazy:        core.DefaultParams(),
+		LazyEnabled: true,
+	}
+}
+
+// Machine is a fully wired simulated system.
+type Machine struct {
+	Params Params
+	Eng    *sim.Engine
+	Phys   *memdata.Physical
+	Chans  []*dram.Channel
+	MCs    []*memctrl.Controller
+	Hier   *cache.Hierarchy
+	Lazy   *core.Engine // nil when LazyEnabled is false
+	ISA    *isa.Unit    // nil when LazyEnabled is false
+	Cores  []*cpu.Core
+
+	brk memdata.Addr // bump allocator watermark
+}
+
+// New builds a machine from params.
+func New(p Params) *Machine {
+	if p.Channels <= 0 || p.Channels&(p.Channels-1) != 0 {
+		panic(fmt.Sprintf("machine: channel count %d must be a power of two", p.Channels))
+	}
+	if p.Cache.Cores != p.Cores {
+		p.Cache.Cores = p.Cores
+	}
+	m := &Machine{
+		Params: p,
+		Eng:    sim.NewEngine(),
+		Phys:   memdata.NewPhysical(p.MemSize),
+		brk:    memdata.PageSize, // keep page 0 unused
+	}
+
+	route := func(a memdata.Addr) int {
+		return int(uint64(a)>>memdata.LineShift) & (p.Channels - 1)
+	}
+	for i := 0; i < p.Channels; i++ {
+		ch := dram.NewChannel(p.DRAM)
+		m.Chans = append(m.Chans, ch)
+		m.MCs = append(m.MCs, memctrl.New(i, m.Eng, p.MC, ch, m.Phys))
+	}
+	bus := interconnect.New(m.Eng, interconnect.Config{
+		HopLatency:    p.Cache.XConLat,
+		BytesPerCycle: p.XConBytesPerCycle,
+	})
+	m.Hier = cache.NewWithBus(m.Eng, p.Cache, func(a memdata.Addr) *memctrl.Controller {
+		return m.MCs[route(a)]
+	}, bus)
+
+	var issuer cpu.LazyIssuer
+	if p.LazyEnabled {
+		m.Lazy = core.NewEngine(m.Eng, p.Lazy, m.MCs, route)
+		m.ISA = isa.New(m.Eng, m.Hier, m.Lazy, p.Cache.XConLat, p.Channels)
+		issuer = m.ISA
+	}
+	for i := 0; i < p.Cores; i++ {
+		m.Cores = append(m.Cores, cpu.New(i, p.CPU, m.Hier, issuer))
+	}
+	return m
+}
+
+// Alloc reserves size bytes aligned to align (a power of two ≥ 1) and
+// returns the base physical address. Buffers are never reclaimed; build a
+// fresh machine per experiment.
+func (m *Machine) Alloc(size, align uint64) memdata.Addr {
+	if align == 0 {
+		align = 1
+	}
+	base := m.brk + memdata.Addr(memdata.AlignRem(m.brk, align))
+	end := base + memdata.Addr(size)
+	if uint64(end) > m.Phys.Size() {
+		panic(fmt.Sprintf("machine: out of simulated memory (want %d bytes at %#x, have %d)",
+			size, base, m.Phys.Size()))
+	}
+	m.brk = end
+	return base
+}
+
+// AllocPage reserves size bytes page-aligned.
+func (m *Machine) AllocPage(size uint64) memdata.Addr {
+	return m.Alloc(size, memdata.PageSize)
+}
+
+// FillRandom writes deterministic pseudorandom bytes over [a, a+n).
+func (m *Machine) FillRandom(a memdata.Addr, n uint64, seed int64) {
+	rnd := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	rnd.Read(buf)
+	m.Phys.Write(a, buf)
+}
+
+// Run executes one workload function per core (fn i on core i) as
+// simulated processes, drains the simulation, and returns the cycle at
+// which the last workload finished.
+func (m *Machine) Run(workloads ...func(c *cpu.Core)) sim.Cycle {
+	if len(workloads) > len(m.Cores) {
+		panic(fmt.Sprintf("machine: %d workloads for %d cores", len(workloads), len(m.Cores)))
+	}
+	var last sim.Cycle
+	for i, fn := range workloads {
+		c := m.Cores[i]
+		fn := fn
+		m.Eng.Go(fmt.Sprintf("core%d", i), func(p *sim.Proc) {
+			c.Bind(p)
+			fn(c)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	m.Eng.Drain()
+	return last
+}
+
+// Warm touches the range through core 0's cache so subsequent accesses hit.
+// Used for "touched" (cached-source) experiments.
+func (m *Machine) Warm(c *cpu.Core, r memdata.Range) {
+	for _, l := range r.Lines() {
+		c.LoadAsync(l, 8)
+	}
+	c.Fence()
+}

@@ -1,0 +1,266 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/softmc"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(DefaultParams())
+	a := m.Alloc(100, 64)
+	b := m.Alloc(100, 4096)
+	if !memdata.IsLineAligned(a) {
+		t.Fatalf("a = %#x not line aligned", a)
+	}
+	if memdata.PageOffset(b) != 0 {
+		t.Fatalf("b = %#x not page aligned", b)
+	}
+	if b < a+100 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	p := DefaultParams()
+	p.MemSize = 1 << 20
+	m := New(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation did not panic")
+		}
+	}()
+	m.Alloc(2<<20, 1)
+}
+
+func TestRunMultipleCores(t *testing.T) {
+	m := New(DefaultParams())
+	order := make([]int, 0, 2)
+	m.Run(
+		func(c *cpu.Core) { c.Compute(100); order = append(order, 0) },
+		func(c *cpu.Core) { c.Compute(50); order = append(order, 1) },
+	)
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestMemcpyLazyFullStackEquivalence drives memcpy_lazy end to end —
+// wrapper, CLWBs, MCLAZY cache sweeps, CTT, bounces, BPQ — against a shadow
+// byte model, over random sizes and misalignments.
+func TestMemcpyLazyFullStackEquivalence(t *testing.T) {
+	m := New(DefaultParams())
+	const region = 1 << 18
+	base := m.Alloc(region, memdata.PageSize)
+	m.FillRandom(base, region, 7)
+	shadow := m.Phys.Read(base, region)
+	rnd := rand.New(rand.NewSource(7))
+
+	// t.Fatalf must not run on the workload goroutine (Goexit would strand
+	// the engine); record the failure and report after Run.
+	var failure string
+	m.Run(func(c *cpu.Core) {
+		for step := 0; step < 120 && failure == ""; step++ {
+			switch rnd.Intn(5) {
+			case 0, 1: // lazy memcpy with arbitrary alignment and size
+				size := uint64(1 + rnd.Intn(12000))
+				dst := uint64(rnd.Intn(region - int(size)))
+				src := uint64(rnd.Intn(region - int(size)))
+				dstR := memdata.Range{Start: base + memdata.Addr(dst), Size: size}
+				srcR := memdata.Range{Start: base + memdata.Addr(src), Size: size}
+				if dstR.Overlaps(srcR) {
+					continue
+				}
+				softmc.MemcpyLazy(c, dstR.Start, srcR.Start, size)
+				copy(shadow[dst:dst+size], shadow[src:src+size])
+			case 2: // plain store
+				n := uint64(1 + rnd.Intn(64))
+				off := uint64(rnd.Intn(region - int(n)))
+				data := make([]byte, n)
+				rnd.Read(data)
+				c.Store(base+memdata.Addr(off), data)
+				c.Fence()
+				copy(shadow[off:off+n], data)
+			default: // read & verify
+				n := uint64(1 + rnd.Intn(256))
+				off := uint64(rnd.Intn(region - int(n)))
+				got := c.Load(base+memdata.Addr(off), n)
+				if !bytes.Equal(got, shadow[off:off+n]) {
+					failure = fmt.Sprintf("step %d: bytes [%d,%d) mismatch", step, off, off+n)
+				}
+			}
+		}
+		// Full final verification.
+		for off := uint64(0); off < region && failure == ""; off += 4096 {
+			got := c.Load(base+memdata.Addr(off), 4096)
+			if !bytes.Equal(got, shadow[off:off+4096]) {
+				failure = fmt.Sprintf("final: page at %d mismatch", off)
+			}
+		}
+	})
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	if err := m.Lazy.CTT().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Lazy.Stats.LazyOps == 0 {
+		t.Fatal("no lazy copies were issued")
+	}
+}
+
+// TestLazyBeatsEagerUncached reproduces the headline of Fig 10: for large
+// uncached copies, memcpy_lazy completes far faster than eager memcpy.
+func TestLazyBeatsEagerUncached(t *testing.T) {
+	const size = 64 << 10
+	run := func(lazy bool) sim.Cycle {
+		m := New(DefaultParams())
+		src := m.AllocPage(size)
+		dst := m.AllocPage(size)
+		m.FillRandom(src, size, 9)
+		var dur sim.Cycle
+		m.Run(func(c *cpu.Core) {
+			start := c.Now()
+			if lazy {
+				softmc.MemcpyLazy(c, dst, src, size)
+			} else {
+				softmc.MemcpyEager(c, dst, src, size)
+			}
+			dur = c.Now() - start
+		})
+		return dur
+	}
+	eager := run(false)
+	lz := run(true)
+	if lz*2 >= eager {
+		t.Fatalf("lazy %d cycles not ≥2x faster than eager %d", lz, eager)
+	}
+}
+
+// TestSourceWriteAfterLazyCopyFullStack: the paper's central consistency
+// property through the whole machine — writes to the source after
+// memcpy_lazy must not leak into the destination, even when the writes sit
+// dirty in the cache for a while.
+func TestSourceWriteAfterLazyCopyFullStack(t *testing.T) {
+	m := New(DefaultParams())
+	const size = 8 << 10
+	src := m.AllocPage(size)
+	dst := m.AllocPage(size)
+	m.FillRandom(src, size, 11)
+	want := m.Phys.Read(src, size)
+
+	m.Run(func(c *cpu.Core) {
+		softmc.MemcpyLazy(c, dst, src, size)
+		// Overwrite the whole source through the cache.
+		junk := bytes.Repeat([]byte{0xFF}, size)
+		c.Store(src, junk)
+		c.Fence()
+		// Push the dirty lines out to memory so the BPQ path runs.
+		for a := src; a < src+size; a += memdata.LineSize {
+			c.CLWB(a)
+		}
+		c.Fence()
+		got := c.Load(dst, size)
+		if !bytes.Equal(got, want) {
+			t.Fatal("destination observed post-copy source writes")
+		}
+		got2 := c.Load(src, 64)
+		if got2[0] != 0xFF {
+			t.Fatal("source lost its new data")
+		}
+	})
+}
+
+func TestInterposerPolicy(t *testing.T) {
+	m := New(DefaultParams())
+	src := m.AllocPage(8 << 10)
+	dst := m.AllocPage(8 << 10)
+	m.FillRandom(src, 8<<10, 13)
+	ip := &softmc.Interposer{Threshold: 1024}
+	m.Run(func(c *cpu.Core) {
+		ip.Memcpy(c, dst, src, 512)            // below threshold: eager
+		ip.Memcpy(c, dst+4096, src+4096, 4096) // redirected
+	})
+	if ip.Passed != 1 || ip.Redirected != 1 {
+		t.Fatalf("interposer: passed=%d redirected=%d", ip.Passed, ip.Redirected)
+	}
+	if m.Lazy.Stats.LazyOps == 0 {
+		t.Fatal("redirected copy issued no MCLAZY")
+	}
+}
+
+func TestMCFreeThroughCore(t *testing.T) {
+	m := New(DefaultParams())
+	src := m.AllocPage(4096)
+	dst := m.AllocPage(4096)
+	m.FillRandom(src, 4096, 17)
+	m.Run(func(c *cpu.Core) {
+		softmc.MemcpyLazy(c, dst, src, 4096)
+		softmc.Free(c, memdata.Range{Start: dst, Size: 4096})
+	})
+	if m.Lazy.CTT().Len() != 0 {
+		t.Fatalf("CTT has %d entries after MCFREE", m.Lazy.CTT().Len())
+	}
+}
+
+func TestBaselineMachineHasNoLazyUnit(t *testing.T) {
+	p := DefaultParams()
+	p.LazyEnabled = false
+	m := New(p)
+	if m.Lazy != nil || m.ISA != nil {
+		t.Fatal("baseline machine has lazy machinery")
+	}
+	// Plain copies still work.
+	src := m.AllocPage(4096)
+	dst := m.AllocPage(4096)
+	m.FillRandom(src, 4096, 19)
+	want := m.Phys.Read(src, 4096)
+	m.Run(func(c *cpu.Core) {
+		softmc.MemcpyEager(c, dst, src, 4096)
+		got := c.Load(dst, 4096)
+		if !bytes.Equal(got, want) {
+			t.Fatal("eager copy mismatch")
+		}
+	})
+}
+
+// TestMultiCoreSharedLazy: several cores lazily copy disjoint buffers at
+// once; all destinations must be correct.
+func TestMultiCoreSharedLazy(t *testing.T) {
+	m := New(DefaultParams())
+	const size = 16 << 10
+	type job struct{ src, dst memdata.Addr }
+	jobs := make([]job, 4)
+	wants := make([][]byte, 4)
+	for i := range jobs {
+		jobs[i].src = m.AllocPage(size)
+		jobs[i].dst = m.AllocPage(size)
+		m.FillRandom(jobs[i].src, size, int64(100+i))
+		wants[i] = m.Phys.Read(jobs[i].src, size)
+	}
+	fns := make([]func(c *cpu.Core), 4)
+	results := make([]bool, 4)
+	for i := range fns {
+		i := i
+		fns[i] = func(c *cpu.Core) {
+			softmc.MemcpyLazy(c, jobs[i].dst, jobs[i].src, size)
+			got := c.Load(jobs[i].dst, size)
+			results[i] = bytes.Equal(got, wants[i])
+		}
+	}
+	m.Run(fns...)
+	for i, ok := range results {
+		if !ok {
+			t.Fatalf("core %d: destination mismatch", i)
+		}
+	}
+	if err := m.Lazy.CTT().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

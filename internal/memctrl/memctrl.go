@@ -1,0 +1,311 @@
+// Package memctrl models a memory controller: the agent that owns one DRAM
+// channel and marshals every access to it through read and write pending
+// queues (RPQ/WPQ) with finite capacity and back-pressure.
+//
+// The controller exposes a Hook interception point consulted on every
+// controller-observed access. The (MC)² lazy-copy engine (internal/core)
+// installs itself there; the controller itself knows nothing about lazy
+// copies. Raw variants of read/write bypass the hook so the lazy-copy
+// engine can access memory without re-triggering itself.
+package memctrl
+
+import (
+	"mcsquare/internal/dram"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// Hook intercepts controller-observed accesses. Implementations run in
+// engine (event) context and must eventually invoke the provided completion
+// callback if they claim an access.
+type Hook interface {
+	// FilterRead is consulted when a cacheline read arrives at the
+	// controller. Returning true claims the read: the hook must call done
+	// (with the 64-byte line) itself, and the controller takes no action.
+	FilterRead(a memdata.Addr, done func(data []byte)) bool
+
+	// FilterWrite is consulted when a cacheline write arrives. Returning
+	// true claims the write: the hook must complete it (typically after
+	// lazy copies) and call release when the writer may proceed.
+	FilterWrite(a memdata.Addr, data []byte, release func()) bool
+}
+
+// Config sizes a controller's queues and policies.
+type Config struct {
+	RPQCapacity int // outstanding reads
+	WPQCapacity int // buffered writes
+	// Write drain watermarks: the controller starts draining writes to DRAM
+	// when occupancy reaches DrainHigh and stops at DrainLow; it also
+	// drains opportunistically when no reads are pending.
+	DrainHigh int
+	DrainLow  int
+	// AcceptLatency models the controller front-end (decode + queue insert).
+	AcceptLatency sim.Cycle
+}
+
+// DefaultConfig returns queue sizes typical of a DDR4 controller.
+func DefaultConfig() Config {
+	return Config{
+		RPQCapacity:   32,
+		WPQCapacity:   64,
+		DrainHigh:     48,
+		DrainLow:      16,
+		AcceptLatency: 4,
+	}
+}
+
+type pendingWrite struct {
+	addr memdata.Addr
+	data []byte
+}
+
+// Stats holds controller counters.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	ReadStalls     uint64 // reads that waited for an RPQ slot
+	WriteStalls    uint64 // writes that waited for a WPQ slot
+	Forwards       uint64 // reads serviced from the WPQ
+	RejectedWrites uint64 // hook-side writebacks refused (WPQ pressure)
+}
+
+// Controller owns one DRAM channel. All methods must be called in engine
+// (event) context.
+type Controller struct {
+	ID   int
+	eng  *sim.Engine
+	cfg  Config
+	ch   *dram.Channel
+	phys *memdata.Physical
+	hook Hook
+
+	rpqUsed     int
+	rpqWaiters  []func()
+	wpqUsed     int
+	wpqWaiters  []func()
+	writeBuf    []pendingWrite          // accepted, not yet issued to DRAM
+	inFlightWr  map[memdata.Addr][]byte // issued to DRAM, not yet landed
+	pendingRead int                     // reads currently queued or in DRAM
+
+	Stats Stats
+}
+
+// New creates a controller over the given channel and backing store.
+func New(id int, eng *sim.Engine, cfg Config, ch *dram.Channel, phys *memdata.Physical) *Controller {
+	return &Controller{
+		ID:         id,
+		eng:        eng,
+		cfg:        cfg,
+		ch:         ch,
+		phys:       phys,
+		inFlightWr: make(map[memdata.Addr][]byte),
+	}
+}
+
+// SetHook installs the access interception hook (nil to remove).
+func (c *Controller) SetHook(h Hook) { c.hook = h }
+
+// Channel returns the controller's DRAM channel (for stats).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// WPQOccupancy returns the fraction of WPQ slots in use, in [0,1].
+func (c *Controller) WPQOccupancy() float64 {
+	return float64(c.wpqUsed) / float64(c.cfg.WPQCapacity)
+}
+
+// ReadLine requests the 64-byte line at a (line-aligned). The hook is
+// consulted first; otherwise the read is queued and done is called with the
+// line data when DRAM returns it.
+func (c *Controller) ReadLine(a memdata.Addr, done func(data []byte)) {
+	if c.hook != nil && c.hook.FilterRead(a, done) {
+		return
+	}
+	c.RawReadLine(a, done)
+}
+
+// RawReadLine is ReadLine without hook interception.
+func (c *Controller) RawReadLine(a memdata.Addr, done func(data []byte)) {
+	c.Stats.Reads++
+	// Forward from pending writes: the freshest value may still be queued.
+	if d := c.forward(a); d != nil {
+		c.Stats.Forwards++
+		c.eng.After(c.cfg.AcceptLatency, func() { done(d) })
+		return
+	}
+	c.acquireRPQ(func() {
+		// Re-check forwarding: a write may have been queued while waiting.
+		if d := c.forward(a); d != nil {
+			c.Stats.Forwards++
+			c.releaseRPQ()
+			done(d)
+			return
+		}
+		c.pendingRead++
+		finish := c.ch.Access(c.eng.Now(), a, false)
+		c.eng.At(finish, func() {
+			data := c.phys.ReadLine(a)
+			c.pendingRead--
+			c.releaseRPQ()
+			done(data)
+			c.maybeDrain()
+		})
+	})
+}
+
+// RawReadLineSnapshot is RawReadLine except that the data is captured at
+// call time (from the WPQ or memory) while completion is still charged the
+// full queue + DRAM latency. The (MC)² engine uses it for bounce and
+// lazy-copy source reads, which the controller orders ahead of any write
+// that arrives later — guaranteeing as-of-copy data even under queue
+// back-pressure.
+func (c *Controller) RawReadLineSnapshot(a memdata.Addr, done func(data []byte)) {
+	c.Stats.Reads++
+	var data []byte
+	if d := c.forward(a); d != nil {
+		c.Stats.Forwards++
+		data = make([]byte, memdata.LineSize)
+		copy(data, d)
+		c.eng.After(c.cfg.AcceptLatency, func() { done(data) })
+		return
+	}
+	data = c.phys.ReadLine(a)
+	c.acquireRPQ(func() {
+		c.pendingRead++
+		finish := c.ch.Access(c.eng.Now(), a, false)
+		c.eng.At(finish, func() {
+			c.pendingRead--
+			c.releaseRPQ()
+			done(data)
+			c.maybeDrain()
+		})
+	})
+}
+
+// WriteLine posts a full-line write. The hook is consulted first; otherwise
+// the write is buffered in the WPQ and release is called once a slot is
+// held (posted-write semantics; DRAM completion happens later).
+func (c *Controller) WriteLine(a memdata.Addr, data []byte, release func()) {
+	if c.hook != nil && c.hook.FilterWrite(a, data, release) {
+		return
+	}
+	c.RawWriteLine(a, data, release)
+}
+
+// RawWriteLine is WriteLine without hook interception.
+func (c *Controller) RawWriteLine(a memdata.Addr, data []byte, release func()) {
+	if len(data) != memdata.LineSize {
+		panic("memctrl: WriteLine with partial line")
+	}
+	c.Stats.Writes++
+	cp := make([]byte, memdata.LineSize)
+	copy(cp, data)
+	c.acquireWPQ(func() {
+		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: cp})
+		c.eng.After(c.cfg.AcceptLatency, release)
+		c.maybeDrain()
+	})
+}
+
+// TryRawWriteLine behaves like RawWriteLine but refuses (returns false)
+// instead of waiting when WPQ occupancy is at or above the given fraction.
+// The (MC)² bounce-writeback optimization uses this with the paper's 75 %
+// threshold to avoid contending with demand traffic.
+func (c *Controller) TryRawWriteLine(a memdata.Addr, data []byte, frac float64) bool {
+	if float64(c.wpqUsed) >= frac*float64(c.cfg.WPQCapacity) {
+		c.Stats.RejectedWrites++
+		return false
+	}
+	c.RawWriteLine(a, data, func() {})
+	return true
+}
+
+// forward returns buffered/in-flight write data for a, or nil.
+func (c *Controller) forward(a memdata.Addr) []byte {
+	// Scan newest-first so the latest write wins.
+	for i := len(c.writeBuf) - 1; i >= 0; i-- {
+		if c.writeBuf[i].addr == a {
+			return c.writeBuf[i].data
+		}
+	}
+	if d, ok := c.inFlightWr[a]; ok {
+		return d
+	}
+	return nil
+}
+
+func (c *Controller) acquireRPQ(fn func()) {
+	if c.rpqUsed < c.cfg.RPQCapacity {
+		c.rpqUsed++
+		fn()
+		return
+	}
+	c.Stats.ReadStalls++
+	c.rpqWaiters = append(c.rpqWaiters, fn)
+}
+
+func (c *Controller) releaseRPQ() {
+	if len(c.rpqWaiters) > 0 {
+		next := c.rpqWaiters[0]
+		c.rpqWaiters = c.rpqWaiters[1:]
+		next() // slot transfers directly
+		return
+	}
+	c.rpqUsed--
+}
+
+func (c *Controller) acquireWPQ(fn func()) {
+	if c.wpqUsed < c.cfg.WPQCapacity {
+		c.wpqUsed++
+		fn()
+		return
+	}
+	c.Stats.WriteStalls++
+	c.wpqWaiters = append(c.wpqWaiters, fn)
+}
+
+func (c *Controller) releaseWPQ() {
+	if len(c.wpqWaiters) > 0 {
+		next := c.wpqWaiters[0]
+		c.wpqWaiters = c.wpqWaiters[1:]
+		next()
+		return
+	}
+	c.wpqUsed--
+}
+
+// maybeDrain issues buffered writes to DRAM according to the drain policy:
+// drain aggressively above DrainHigh (down to DrainLow), and
+// opportunistically when the read path is idle. Eligible writes issue
+// back-to-back — the channel's bank/bus model pipelines them, so write
+// drains run at burst bandwidth like a real controller's write bursts.
+func (c *Controller) maybeDrain() {
+	high := len(c.writeBuf) >= c.cfg.DrainHigh
+	for len(c.writeBuf) > 0 {
+		idle := c.pendingRead == 0
+		if !high && !idle {
+			return
+		}
+		if high && !idle && len(c.writeBuf) <= c.cfg.DrainLow {
+			return
+		}
+		w := c.writeBuf[0]
+		c.writeBuf = c.writeBuf[1:]
+		c.inFlightWr[w.addr] = w.data
+		finish := c.ch.Access(c.eng.Now(), w.addr, true)
+		c.eng.At(finish, func() {
+			c.phys.WriteLine(w.addr, w.data)
+			// Only clear the in-flight entry if a newer write to the same
+			// address hasn't replaced it.
+			if d, ok := c.inFlightWr[w.addr]; ok && &d[0] == &w.data[0] {
+				delete(c.inFlightWr, w.addr)
+			}
+			c.releaseWPQ()
+			c.maybeDrain()
+		})
+	}
+}
+
+// Quiesce reports whether the controller has no queued or in-flight work.
+func (c *Controller) Quiesce() bool {
+	return c.rpqUsed == 0 && c.wpqUsed == 0 && len(c.writeBuf) == 0 && len(c.inFlightWr) == 0
+}

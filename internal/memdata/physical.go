@@ -1,0 +1,82 @@
+package memdata
+
+import "fmt"
+
+// Physical is the machine's flat byte-addressable backing store. All DRAM
+// reads and writes ultimately land here, so data read back through the full
+// cache + controller + CTT stack can be compared against what software
+// wrote — the basis of the observational-equivalence tests.
+type Physical struct {
+	data []byte
+}
+
+// NewPhysical allocates a backing store of the given size in bytes.
+func NewPhysical(size uint64) *Physical {
+	return &Physical{data: make([]byte, size)}
+}
+
+// Size returns the store's capacity in bytes.
+func (p *Physical) Size() uint64 { return uint64(len(p.data)) }
+
+func (p *Physical) check(a Addr, n uint64) {
+	if uint64(a)+n > uint64(len(p.data)) {
+		panic(fmt.Sprintf("memdata: access [%#x,%#x) outside physical memory of %d bytes",
+			a, uint64(a)+n, len(p.data)))
+	}
+}
+
+// Read copies n bytes starting at a into a fresh slice.
+func (p *Physical) Read(a Addr, n uint64) []byte {
+	p.check(a, n)
+	out := make([]byte, n)
+	copy(out, p.data[a:uint64(a)+n])
+	return out
+}
+
+// ReadInto copies len(dst) bytes starting at a into dst.
+func (p *Physical) ReadInto(a Addr, dst []byte) {
+	p.check(a, uint64(len(dst)))
+	copy(dst, p.data[a:])
+}
+
+// Write copies src into the store starting at a.
+func (p *Physical) Write(a Addr, src []byte) {
+	p.check(a, uint64(len(src)))
+	copy(p.data[a:], src)
+}
+
+// ReadLine copies the 64-byte cacheline containing a into a fresh slice.
+// a must be line-aligned.
+func (p *Physical) ReadLine(a Addr) []byte {
+	if !IsLineAligned(a) {
+		panic(fmt.Sprintf("memdata: ReadLine of unaligned address %#x", a))
+	}
+	return p.Read(a, LineSize)
+}
+
+// WriteLine stores a full 64-byte cacheline at a. a must be line-aligned
+// and len(line) must be LineSize.
+func (p *Physical) WriteLine(a Addr, line []byte) {
+	if !IsLineAligned(a) {
+		panic(fmt.Sprintf("memdata: WriteLine of unaligned address %#x", a))
+	}
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("memdata: WriteLine with %d bytes", len(line)))
+	}
+	p.Write(a, line)
+}
+
+// Zero clears n bytes starting at a.
+func (p *Physical) Zero(a Addr, n uint64) {
+	p.check(a, n)
+	clear(p.data[a : uint64(a)+n])
+}
+
+// Copy performs an immediate (non-simulated) copy of n bytes from src to
+// dst within the store. Used by test oracles and OS bootstrap, never by the
+// timed simulation path.
+func (p *Physical) Copy(dst, src Addr, n uint64) {
+	p.check(src, n)
+	p.check(dst, n)
+	copy(p.data[dst:uint64(dst)+n], p.data[src:uint64(src)+n])
+}

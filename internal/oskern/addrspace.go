@@ -1,0 +1,186 @@
+package oskern
+
+import (
+	"fmt"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/softmc"
+)
+
+// share is the reference count a copy-on-write physical page carries.
+type share struct {
+	refs int
+}
+
+// vpage maps one virtual page (4 KB or 2 MB) to physical memory.
+type vpage struct {
+	phys memdata.Addr
+	size uint64 // PageSize or HugePageSize
+	sh   *share // nil for private pages
+}
+
+// AddressSpace is one process's page table. Lookups try the huge-page
+// granularity first, then 4 KB.
+type AddressSpace struct {
+	k     *Kernel
+	small map[memdata.VAddr]*vpage
+	huge  map[memdata.VAddr]*vpage
+	// TLB caches translations; misses charge the page-walk cost. Huge
+	// pages keep their single-entry advantage (the reason in-memory
+	// databases want them despite COW spikes, §V-B).
+	TLB *TLB
+}
+
+// NewAddressSpace creates an empty address space.
+func (k *Kernel) NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		k:     k,
+		small: map[memdata.VAddr]*vpage{},
+		huge:  map[memdata.VAddr]*vpage{},
+		TLB:   NewTLB(),
+	}
+}
+
+// MapRegion backs [v, v+size) with freshly allocated physical pages of the
+// given granularity. v and size must be multiples of that granularity.
+func (as *AddressSpace) MapRegion(v memdata.VAddr, size uint64, hugePages bool) {
+	pg, tbl := uint64(memdata.PageSize), as.small
+	if hugePages {
+		pg, tbl = uint64(memdata.HugePageSize), as.huge
+	}
+	if uint64(v)%pg != 0 || size%pg != 0 {
+		panic(fmt.Sprintf("oskern: MapRegion(%#x, %d) not %d-aligned", v, size, pg))
+	}
+	for off := uint64(0); off < size; off += pg {
+		va := v + memdata.VAddr(off)
+		if _, ok := tbl[va]; ok {
+			panic(fmt.Sprintf("oskern: double map of %#x", va))
+		}
+		tbl[va] = &vpage{phys: as.k.M.Alloc(pg, pg), size: pg}
+	}
+}
+
+// Fork clones the address space copy-on-write: both spaces share physical
+// pages until one writes. The page-table copy cost (one PTE per page) is
+// charged to the calling core — the cheap part that huge pages make an
+// order of magnitude cheaper (§V-B).
+func (as *AddressSpace) Fork(c *cpu.Core) *AddressSpace {
+	as.k.Stats.Forks++
+	as.k.Stats.Syscalls++
+	c.Compute(as.k.P.SyscallCost)
+	child := as.k.NewAddressSpace()
+	copyTable := func(dst, src map[memdata.VAddr]*vpage) {
+		for va, pg := range src {
+			if pg.sh == nil {
+				pg.sh = &share{refs: 1}
+			}
+			pg.sh.refs++
+			dst[va] = &vpage{phys: pg.phys, size: pg.size, sh: pg.sh}
+			c.Compute(as.k.P.PTECost)
+		}
+	}
+	copyTable(child.small, as.small)
+	copyTable(child.huge, as.huge)
+	// Write protection for COW requires flushing stale TLB entries.
+	as.TLB.Flush()
+	c.Compute(as.k.P.ShootdownCost)
+	return child
+}
+
+// lookup finds the page containing v.
+func (as *AddressSpace) lookup(v memdata.VAddr) *vpage {
+	if pg, ok := as.huge[memdata.VAddr(uint64(v)&^uint64(memdata.HugePageSize-1))]; ok {
+		return pg
+	}
+	if pg, ok := as.small[memdata.VAddr(uint64(v)&^uint64(memdata.PageSize-1))]; ok {
+		return pg
+	}
+	return nil
+}
+
+// Translate resolves v to a physical address, running the copy-on-write
+// fault handler inline when a write hits a shared page. It must be called
+// from the core's workload process.
+func (as *AddressSpace) Translate(c *cpu.Core, v memdata.VAddr, write bool) memdata.Addr {
+	pg := as.lookup(v)
+	if pg == nil {
+		panic(fmt.Sprintf("oskern: access to unmapped address %#x", v))
+	}
+	if c != nil {
+		page := memdata.VAddr(uint64(v) &^ (pg.size - 1))
+		if walk := as.TLB.Access(page, pg.size == memdata.HugePageSize); walk > 0 {
+			c.Compute(walk)
+		}
+	}
+	if write && pg.sh != nil {
+		if pg.sh.refs > 1 {
+			as.cowFault(c, pg)
+		} else {
+			pg.sh = nil // last reference: reclaim exclusivity, no copy
+		}
+	}
+	off := uint64(v) & (pg.size - 1)
+	return pg.phys + memdata.Addr(off)
+}
+
+// cowFault runs the copy-on-write fault handler: allocate a private page
+// and copy the shared one — eagerly in the native kernel, with MCLAZY in
+// the paper's modified kernel (copy_user_huge_page). The MCLAZY path
+// relies on the instruction's ranged cache sweep rather than per-line
+// CLWBs, so its cost is bounded by cache residency, not page size.
+func (as *AddressSpace) cowFault(c *cpu.Core, pg *vpage) {
+	start := c.Now()
+	if pg.size == memdata.HugePageSize {
+		as.k.Stats.HugeCOWFaults++
+	} else {
+		as.k.Stats.COWFaults++
+	}
+	c.Compute(as.k.P.FaultCost)
+	newPhys := as.k.M.Alloc(pg.size, pg.size)
+	if as.k.LazyCOW {
+		c.MCLazy(memdata.Range{Start: newPhys, Size: pg.size}, pg.phys)
+		c.Fence()
+	} else {
+		softmc.MemcpyEager(c, newPhys, pg.phys, pg.size)
+	}
+	c.Compute(as.k.P.PTECost)
+	pg.sh.refs--
+	pg.sh = nil
+	pg.phys = newPhys
+	as.k.Stats.FaultCycles += uint64(c.Now() - start)
+}
+
+// Store writes data at virtual address v (may cross page boundaries).
+func (as *AddressSpace) Store(c *cpu.Core, v memdata.VAddr, data []byte) {
+	for len(data) > 0 {
+		pa := as.Translate(c, v, true)
+		pg := as.lookup(v)
+		room := pg.size - uint64(v)&(pg.size-1)
+		n := uint64(len(data))
+		if n > room {
+			n = room
+		}
+		c.Store(pa, data[:n])
+		data = data[n:]
+		v += memdata.VAddr(n)
+	}
+}
+
+// Load reads n bytes at virtual address v (dependent load semantics).
+func (as *AddressSpace) Load(c *cpu.Core, v memdata.VAddr, n uint64) []byte {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pa := as.Translate(c, v, false)
+		pg := as.lookup(v)
+		room := pg.size - uint64(v)&(pg.size-1)
+		take := n
+		if take > room {
+			take = room
+		}
+		out = append(out, c.Load(pa, take)...)
+		n -= take
+		v += memdata.VAddr(take)
+	}
+	return out
+}

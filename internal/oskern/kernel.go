@@ -1,0 +1,69 @@
+// Package oskern simulates the operating-system pieces the paper's
+// evaluation depends on: virtual address spaces with 4 KB and 2 MB pages,
+// fork with copy-on-write faults (Fig 18), pipe buffers with user/kernel
+// copies (Fig 19), and the cost model for syscalls, faults, and TLB
+// shootdowns that the zIO baseline also uses.
+//
+// Kernel code runs inline on the calling core's process: fault handlers
+// charge their fixed costs with Compute and perform their copies through
+// the same simulated memory hierarchy as user code.
+package oskern
+
+import (
+	"mcsquare/internal/machine"
+	"mcsquare/internal/sim"
+)
+
+// Params is the kernel cost model (cycles at 4 GHz).
+type Params struct {
+	SyscallCost   sim.Cycle // user/kernel transition, entry + exit
+	FaultCost     sim.Cycle // page-fault trap, handler dispatch, return
+	ShootdownCost sim.Cycle // one TLB shootdown round (IPIs + waits)
+	PTECost       sim.Cycle // update one page-table entry
+}
+
+// DefaultParams uses costs typical of a Skylake-class server running
+// Linux: ~250 ns syscalls, ~600 ns fault round trips, ~1.5 µs shootdowns.
+func DefaultParams() Params {
+	return Params{
+		SyscallCost:   1000,
+		FaultCost:     2400,
+		ShootdownCost: 6000,
+		PTECost:       40,
+	}
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Forks         uint64
+	COWFaults     uint64 // 4 KB copy-on-write faults
+	HugeCOWFaults uint64 // 2 MB copy-on-write faults
+	PipeWrites    uint64
+	PipeReads     uint64
+	Syscalls      uint64
+	FaultCycles   uint64 // total cycles spent inside fault handlers
+}
+
+// Kernel bundles the cost model with the policy switches the paper's
+// modified kernel adds.
+type Kernel struct {
+	M *machine.Machine
+	P Params
+
+	// LazyCOW makes copy_user_huge_page (and its 4 KB sibling) use MCLAZY
+	// instead of an eager copy — the paper's Fig 18 kernel modification.
+	LazyCOW bool
+	// LazyPipes makes pipe_read/pipe_write use lazy copies (Fig 19).
+	LazyPipes bool
+	// FreePipeBuffers issues MCFREE for consumed kernel pipe buffers, so
+	// fully forwarded data is never copied at all (§III-C's munmap-style
+	// use of MCFREE).
+	FreePipeBuffers bool
+
+	Stats Stats
+}
+
+// New creates a kernel over the machine with default costs.
+func New(m *machine.Machine) *Kernel {
+	return &Kernel{M: m, P: DefaultParams()}
+}

@@ -1,0 +1,96 @@
+package oskern
+
+import (
+	"fmt"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/softmc"
+)
+
+// Pipe is a kernel FIFO with an in-kernel ring buffer: pipe_write copies
+// user bytes into the ring, pipe_read copies them out. With LazyPipes both
+// copies go through memcpy_lazy; chain collapsing then routes the reader's
+// destination directly to the writer's source, and with FreePipeBuffers the
+// consumed kernel buffer is MCFREE'd so the intermediate copy never
+// happens at all (the Fig 19 experiment).
+type Pipe struct {
+	k    *Kernel
+	buf  memdata.Addr
+	cap  uint64
+	rpos uint64 // absolute read offset
+	wpos uint64 // absolute write offset
+}
+
+// NewPipe creates a pipe with the given ring capacity (must be a multiple
+// of the page size; Linux defaults to 64 KB).
+func (k *Kernel) NewPipe(capacity uint64) *Pipe {
+	if capacity == 0 || capacity%memdata.PageSize != 0 {
+		panic(fmt.Sprintf("oskern: pipe capacity %d not page-aligned", capacity))
+	}
+	return &Pipe{k: k, buf: k.M.Alloc(capacity, memdata.PageSize), cap: capacity}
+}
+
+// Buffered returns the number of bytes waiting in the ring.
+func (p *Pipe) Buffered() uint64 { return p.wpos - p.rpos }
+
+// Write copies up to n bytes from the user buffer src into the pipe and
+// returns how many were accepted (bounded by free space — the simulated
+// workloads size transfers to fit, so no blocking is modeled).
+func (p *Pipe) Write(c *cpu.Core, src memdata.Addr, n uint64) uint64 {
+	p.k.Stats.PipeWrites++
+	p.k.Stats.Syscalls++
+	c.Compute(p.k.P.SyscallCost)
+	space := p.cap - p.Buffered()
+	if n > space {
+		n = space
+	}
+	p.chunkedCopy(c, n, func(kbuf memdata.Addr, off, take uint64) {
+		p.copy(c, kbuf, src+memdata.Addr(off), take)
+	}, &p.wpos)
+	return n
+}
+
+// Read copies up to n buffered bytes into the user buffer dst and returns
+// how many were delivered.
+func (p *Pipe) Read(c *cpu.Core, dst memdata.Addr, n uint64) uint64 {
+	p.k.Stats.PipeReads++
+	p.k.Stats.Syscalls++
+	c.Compute(p.k.P.SyscallCost)
+	if n > p.Buffered() {
+		n = p.Buffered()
+	}
+	p.chunkedCopy(c, n, func(kbuf memdata.Addr, off, take uint64) {
+		p.copy(c, dst+memdata.Addr(off), kbuf, take)
+		if p.k.FreePipeBuffers {
+			// The consumed span is dead: drop any prospective copies into
+			// it so fully forwarded data is never materialized.
+			softmc.Free(c, memdata.Range{Start: kbuf, Size: take})
+		}
+	}, &p.rpos)
+	return n
+}
+
+// chunkedCopy walks n bytes of the ring from *pos, splitting at the wrap
+// boundary, invoking fn(kernelAddr, userOffset, take) per span.
+func (p *Pipe) chunkedCopy(c *cpu.Core, n uint64, fn func(kbuf memdata.Addr, off, take uint64), pos *uint64) {
+	off := uint64(0)
+	for off < n {
+		ring := *pos % p.cap
+		take := n - off
+		if take > p.cap-ring {
+			take = p.cap - ring
+		}
+		fn(p.buf+memdata.Addr(ring), off, take)
+		*pos += take
+		off += take
+	}
+}
+
+func (p *Pipe) copy(c *cpu.Core, dst, src memdata.Addr, n uint64) {
+	if p.k.LazyPipes {
+		softmc.MemcpyLazy(c, dst, src, n)
+	} else {
+		softmc.MemcpyEager(c, dst, src, n)
+	}
+}

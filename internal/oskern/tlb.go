@@ -1,0 +1,77 @@
+package oskern
+
+import (
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// TLB is a per-process translation cache: separate fully-associative LRU
+// arrays for 4 KB and 2 MB entries. A hit is free (pipelined with the L1
+// access); a miss charges the page-walk cost.
+type TLB struct {
+	small *tlbArray
+	huge  *tlbArray
+
+	WalkCost sim.Cycle
+
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbArray struct {
+	capacity int
+	tick     uint64
+	last     map[memdata.VAddr]uint64 // page -> last-use tick
+}
+
+func newTLBArray(capacity int) *tlbArray {
+	return &tlbArray{capacity: capacity, last: map[memdata.VAddr]uint64{}}
+}
+
+// NewTLB builds a TLB with Skylake-like capacities (64 small entries,
+// 32 huge) and an ~25 ns page walk.
+func NewTLB() *TLB {
+	return &TLB{small: newTLBArray(64), huge: newTLBArray(32), WalkCost: 100}
+}
+
+func (a *tlbArray) touch(page memdata.VAddr) bool {
+	a.tick++
+	if _, ok := a.last[page]; ok {
+		a.last[page] = a.tick
+		return true
+	}
+	if len(a.last) >= a.capacity {
+		var victim memdata.VAddr
+		oldest := uint64(1<<63 - 1)
+		// Deterministic LRU: scan for the oldest tick, lowest page breaks
+		// ties (map order must not leak into simulation timing).
+		for p, t := range a.last {
+			if t < oldest || (t == oldest && p < victim) {
+				victim, oldest = p, t
+			}
+		}
+		delete(a.last, victim)
+	}
+	a.last[page] = a.tick
+	return false
+}
+
+// Access looks the page up, returning the cycles to charge (0 on a hit).
+func (t *TLB) Access(page memdata.VAddr, huge bool) sim.Cycle {
+	arr := t.small
+	if huge {
+		arr = t.huge
+	}
+	if arr.touch(page) {
+		t.Hits++
+		return 0
+	}
+	t.Misses++
+	return t.WalkCost
+}
+
+// Flush empties the TLB (a shootdown or context switch).
+func (t *TLB) Flush() {
+	t.small = newTLBArray(t.small.capacity)
+	t.huge = newTLBArray(t.huge.capacity)
+}

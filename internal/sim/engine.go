@@ -1,0 +1,115 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperative processes.
+//
+// The engine maintains a priority queue of events keyed by (cycle, sequence
+// number). Exactly one entity — the engine's event loop or a single process
+// goroutine — runs at any moment, so simulations are fully reproducible:
+// the same inputs always produce the same event ordering and timings.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle = uint64
+
+// event is a scheduled callback. Events with equal cycles fire in the order
+// they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic.
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	procs  []*Proc // live processes, for deadlock diagnostics
+}
+
+// NewEngine returns an engine with simulated time at cycle 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// panics: it indicates a component computed a completion time before "now",
+// which is always a modeling bug.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d, before now (%d)", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) { e.At(e.now+delay, fn) }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the next event, advancing simulated time to its cycle. It
+// reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	ev.fn()
+	return true
+}
+
+// RunUntil runs events until the queue is empty or the next event is later
+// than the given cycle; simulated time ends at min(limit, last event).
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 && e.events[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit && len(e.events) == 0 {
+		e.now = limit
+	}
+}
+
+// Drain runs events until none remain. If a process is still blocked when
+// the queue empties, Drain panics: the simulation has deadlocked.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+	for _, p := range e.procs {
+		if !p.finished {
+			panic("sim: Drain with blocked process(es): " + p.name)
+		}
+	}
+}

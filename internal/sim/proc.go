@@ -1,0 +1,108 @@
+package sim
+
+// Proc is a simulated process: a goroutine co-scheduled with the engine's
+// event loop. Exactly one of {engine, some process} executes at a time.
+// A process runs until it parks (Wait/Suspend) or returns; the engine then
+// resumes pumping events. This gives imperative workload code (loops,
+// data structures, recursion) deterministic simulated timing.
+type Proc struct {
+	eng       *Engine
+	name      string
+	wake      chan struct{} // engine -> proc: run
+	yield     chan struct{} // proc -> engine: parked or finished
+	finished  bool
+	suspended bool // parked via Suspend (awaiting an explicit Resume)
+}
+
+// Go spawns fn as a simulated process starting at the current cycle.
+// fn runs on its own goroutine but never concurrently with the engine or
+// another process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:   e,
+		name:  name,
+		wake:  make(chan struct{}),
+		yield: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.wake
+		fn(p)
+		p.finished = true
+		p.yield <- struct{}{}
+	}()
+	e.After(0, func() { p.resume() })
+	return p
+}
+
+// resume hands control to the process and blocks the engine until the
+// process parks again or finishes. Must be called from the engine side.
+func (p *Proc) resume() {
+	if p.finished {
+		panic("sim: waking process " + p.name + " after it finished (stale wakeup)")
+	}
+	trace("resume(%s) at %d: sending wake", p.name, p.eng.now)
+	p.wake <- struct{}{}
+	<-p.yield
+	trace("resume(%s): got yield", p.name)
+}
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name (used in diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated cycle.
+func (p *Proc) Now() Cycle { return p.eng.Now() }
+
+// Wait parks the process for delay cycles of simulated time.
+func (p *Proc) Wait(delay Cycle) {
+	trace("Wait(%s, %d) at %d", p.name, delay, p.eng.now)
+	p.eng.After(delay, func() { p.resume() })
+	p.park()
+}
+
+// WaitUntil parks the process until the given absolute cycle. If the cycle
+// is not in the future, it is a no-op.
+func (p *Proc) WaitUntil(when Cycle) {
+	if when <= p.eng.Now() {
+		return
+	}
+	p.eng.At(when, func() { p.resume() })
+	p.park()
+}
+
+// Suspend parks the process indefinitely; some event callback must later
+// call Resume. Use for waiting on asynchronous completions (memory
+// responses, queue-slot availability).
+func (p *Proc) Suspend() {
+	trace("Suspend(%s)", p.name)
+	p.suspended = true
+	p.park()
+}
+
+// Resume schedules the process to continue at the current cycle. It must
+// be called from engine context (an event callback), never from another
+// process's goroutine, and only while the target is suspended. Resuming a
+// process that is not suspended panics immediately — the alternative is a
+// silent simulator deadlock.
+func (p *Proc) Resume() {
+	if !p.suspended {
+		panic("sim: Resume of process " + p.name + " that is not suspended")
+	}
+	p.suspended = false
+	trace("Resume(%s) scheduled at %d", p.name, p.eng.now)
+	p.eng.After(0, func() { p.resume() })
+}
+
+// park transfers control back to the engine.
+func (p *Proc) park() {
+	trace("park(%s) at %d", p.name, p.eng.now)
+	p.yield <- struct{}{}
+	<-p.wake
+	trace("unpark(%s) at %d", p.name, p.eng.now)
+}
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }

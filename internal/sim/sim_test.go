@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same cycle: FIFO by seq
+	e.At(20, func() { order = append(order, 4) })
+	e.Drain()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineAfterAccumulates(t *testing.T) {
+	e := NewEngine()
+	var at Cycle
+	e.After(5, func() {
+		e.After(7, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 12 {
+		t.Fatalf("nested After fired at %d, want 12", at)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(5, func() { fired++ })
+	e.At(15, func() { fired++ })
+	e.RunUntil(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", e.Now())
+	}
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleTime(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100 (idle advance)", e.Now())
+	}
+}
+
+func TestProcWait(t *testing.T) {
+	e := NewEngine()
+	var stamps []Cycle
+	e.Go("w", func(p *Proc) {
+		stamps = append(stamps, p.Now())
+		p.Wait(10)
+		stamps = append(stamps, p.Now())
+		p.Wait(5)
+		stamps = append(stamps, p.Now())
+	})
+	e.Drain()
+	want := []Cycle{0, 10, 15}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("stamps = %v, want %v", stamps, want)
+		}
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Wait(2)
+				}
+			})
+		}
+		e.Drain()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: non-deterministic interleaving %v vs %v", trial, got, first)
+			}
+		}
+	}
+}
+
+func TestProcSuspendResume(t *testing.T) {
+	e := NewEngine()
+	var doneAt Cycle
+	var p *Proc
+	p = e.Go("s", func(p *Proc) {
+		p.Suspend()
+		doneAt = p.Now()
+	})
+	e.At(42, func() { p.Resume() })
+	e.Drain()
+	if doneAt != 42 {
+		t.Fatalf("resumed at %d, want 42", doneAt)
+	}
+	if !p.Finished() {
+		t.Fatal("process not finished")
+	}
+}
+
+func TestProcWaitUntilPastIsNoop(t *testing.T) {
+	e := NewEngine()
+	var ok bool
+	e.Go("u", func(p *Proc) {
+		p.Wait(10)
+		p.WaitUntil(5) // in the past: no-op
+		ok = p.Now() == 10
+	})
+	e.Drain()
+	if !ok {
+		t.Fatal("WaitUntil in the past advanced time")
+	}
+}
+
+func TestDrainPanicsOnDeadlock(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) { p.Suspend() })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain with blocked process did not panic")
+		}
+	}()
+	e.Drain()
+}
+
+// Property: for any set of delays, processes always observe monotonically
+// nondecreasing time, and the final engine time equals the max completion.
+func TestProcTimeMonotonicQuick(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) > 50 {
+			delays = delays[:50]
+		}
+		e := NewEngine()
+		var max Cycle
+		ok := true
+		e.Go("q", func(p *Proc) {
+			prev := p.Now()
+			for _, d := range delays {
+				p.Wait(Cycle(d))
+				if p.Now() < prev {
+					ok = false
+				}
+				prev = p.Now()
+			}
+			max = p.Now()
+		})
+		e.Drain()
+		var sum Cycle
+		for _, d := range delays {
+			sum += Cycle(d)
+		}
+		return ok && max == sum && e.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+)
+
+var procTrace = os.Getenv("SIM_TRACE") != ""
+
+func trace(format string, args ...interface{}) {
+	if procTrace {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}

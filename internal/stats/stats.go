@@ -1,0 +1,188 @@
+// Package stats provides the small measurement toolkit used by the
+// benchmark harness: latency histograms with percentiles, throughput
+// helpers, and tab-separated table emission matching the paper artifact's
+// figureX.txt outputs.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates individual samples (e.g. per-operation latencies in
+// cycles). The zero value is ready to use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Samples returns a copy of the raw samples in insertion order.
+func (h *Histogram) Samples() []float64 {
+	// sort() may have reordered; keep a stable answer by re-sorting copies
+	// only. We store insertion order separately if unsorted.
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// CDF returns, for each of the given thresholds, the fraction of samples
+// less than or equal to it (the paper's Fig 4 shape).
+func (h *Histogram) CDF(thresholds []float64) []float64 {
+	h.sort()
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		idx := sort.SearchFloat64s(h.samples, math.Nextafter(t, math.Inf(1)))
+		if len(h.samples) > 0 {
+			out[i] = float64(idx) / float64(len(h.samples))
+		}
+	}
+	return out
+}
+
+// Table accumulates rows and writes them tab-separated, one figure per
+// file, like the paper artifact's results/figureX.txt.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; values are formatted with %v (floats compactly).
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// WriteTo writes the table: a comment line with the title, the header, and
+// tab-separated rows. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table as its file content.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%.0f", f)
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+// CyclesToNs converts cycles at the simulated 4 GHz clock to nanoseconds.
+func CyclesToNs(cycles uint64) float64 { return float64(cycles) / 4.0 }
+
+// CyclesToMs converts cycles at 4 GHz to milliseconds.
+func CyclesToMs(cycles uint64) float64 { return float64(cycles) / 4e6 }
+
+// Speedup formats new vs old as a multiplicative factor (old/new).
+func Speedup(oldV, newV float64) float64 {
+	if newV == 0 {
+		return math.Inf(1)
+	}
+	return oldV / newV
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.N() != 5 || h.Mean() != 3 || h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("basics wrong: n=%d mean=%v min=%v max=%v", h.N(), h.Mean(), h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var h Histogram
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Add(v)
+			}
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return h.Percentile(p1) <= h.Percentile(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	cdf := h.CDF([]float64{0, 50, 100, 200})
+	want := []float64{0, 0.5, 1, 1}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-9 {
+			t.Fatalf("CDF = %v, want %v", cdf, want)
+		}
+	}
+}
+
+func TestHistogramAgainstSort(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	var h Histogram
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rnd.Float64() * 1000
+		h.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{1, 25, 50, 75, 99} {
+		want := vals[int(math.Ceil(p/100*1000))-1]
+		if got := h.Percentile(p); got != want {
+			t.Fatalf("p%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	tb := NewTable("Figure 10: Copy latency", "size", "memcpy_ns", "mc2_ns")
+	tb.AddRow(64, 15.25, 30.0)
+	tb.AddRow("1KB", 250.123456, 100)
+	out := tb.String()
+	if !strings.HasPrefix(out, "# Figure 10: Copy latency\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[1] != "size\tmemcpy_ns\tmc2_ns" {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if lines[2] != "64\t15.25\t30" {
+		t.Fatalf("row = %q", lines[2])
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if CyclesToNs(4) != 1 {
+		t.Fatal("4 cycles should be 1 ns at 4 GHz")
+	}
+	if CyclesToMs(4e6) != 1 {
+		t.Fatal("4M cycles should be 1 ms")
+	}
+	if Speedup(200, 100) != 2 {
+		t.Fatal("speedup wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("zero-division speedup should be +Inf")
+	}
+}

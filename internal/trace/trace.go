@@ -1,0 +1,85 @@
+// Package trace generates the synthetic workload traces the experiments
+// replay. The centerpiece is the Protobuf copy-size distribution from the
+// paper's Fig 4: a CDF over 2 B – 4 KB with ~56 % of all copies exactly
+// 1 KB, which is what defeats page-granularity elision (zIO) and rewards
+// cacheline-granularity laziness ((MC)²).
+package trace
+
+import "math/rand"
+
+// sizeBucket is one step of the Fig 4 CDF.
+type sizeBucket struct {
+	size   uint64
+	weight int // percent
+}
+
+// fig4Buckets reproduces the distribution of Protobuf memcpy sizes in the
+// paper's Fig 4 (read off the published CDF; exact masses documented in
+// EXPERIMENTS.md). Weights sum to 100.
+var fig4Buckets = []sizeBucket{
+	{2, 3}, {4, 3}, {8, 4}, {16, 5}, {32, 7}, {64, 6},
+	{128, 5}, {256, 5}, {512, 4}, {1024, 56}, {2048, 1}, {4096, 1},
+}
+
+// SizeSampler draws memcpy sizes from a weighted discrete distribution.
+type SizeSampler struct {
+	rnd   *rand.Rand
+	sizes []uint64
+	cum   []int
+	total int
+}
+
+// NewFig4Sampler returns a sampler over the paper's Protobuf size CDF.
+func NewFig4Sampler(seed int64) *SizeSampler {
+	return NewSizeSampler(seed, fig4Buckets)
+}
+
+// NewSizeSampler builds a sampler from explicit buckets.
+func NewSizeSampler(seed int64, buckets []sizeBucket) *SizeSampler {
+	s := &SizeSampler{rnd: rand.New(rand.NewSource(seed))}
+	for _, b := range buckets {
+		s.total += b.weight
+		s.sizes = append(s.sizes, b.size)
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+// Sample draws one copy size.
+func (s *SizeSampler) Sample() uint64 {
+	x := s.rnd.Intn(s.total)
+	for i, c := range s.cum {
+		if x < c {
+			return s.sizes[i]
+		}
+	}
+	return s.sizes[len(s.sizes)-1]
+}
+
+// Fig4Sizes returns the CDF thresholds of the paper's Fig 4 x-axis.
+func Fig4Sizes() []uint64 {
+	out := make([]uint64, len(fig4Buckets))
+	for i, b := range fig4Buckets {
+		out[i] = b.size
+	}
+	return out
+}
+
+// Fig4CDF returns the modeled cumulative distribution at each Fig4Sizes
+// threshold, as fractions in (0, 1].
+func Fig4CDF() []float64 {
+	out := make([]float64, len(fig4Buckets))
+	total, acc := 0, 0
+	for _, b := range fig4Buckets {
+		total += b.weight
+	}
+	for i, b := range fig4Buckets {
+		acc += b.weight
+		out[i] = float64(acc) / float64(total)
+	}
+	return out
+}
+
+// Rand exposes the sampler's deterministic random stream for auxiliary
+// workload decisions (field counts, access choices).
+func (s *SizeSampler) Rand() *rand.Rand { return s.rnd }

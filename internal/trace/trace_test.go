@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig4SamplerMatchesCDF(t *testing.T) {
+	s := NewFig4Sampler(1)
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Sample()]++
+	}
+	// The 1 KB mass is the paper's headline (~56%).
+	frac1k := float64(counts[1024]) / n
+	if math.Abs(frac1k-0.56) > 0.02 {
+		t.Fatalf("1KB mass = %.3f, want ~0.56", frac1k)
+	}
+	// All samples must come from the declared support.
+	support := map[uint64]bool{}
+	for _, sz := range Fig4Sizes() {
+		support[sz] = true
+	}
+	for sz := range counts {
+		if !support[sz] {
+			t.Fatalf("sample %d outside support", sz)
+		}
+	}
+	// Empirical CDF within 2% of the model at every threshold.
+	cdf := Fig4CDF()
+	acc := 0
+	for i, sz := range Fig4Sizes() {
+		acc += counts[sz]
+		if got := float64(acc) / n; math.Abs(got-cdf[i]) > 0.02 {
+			t.Fatalf("CDF at %dB: got %.3f want %.3f", sz, got, cdf[i])
+		}
+	}
+	if cdf[len(cdf)-1] != 1 {
+		t.Fatal("CDF does not reach 1")
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a, b := NewFig4Sampler(7), NewFig4Sampler(7)
+	for i := 0; i < 1000; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

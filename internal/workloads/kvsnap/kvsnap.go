@@ -1,0 +1,94 @@
+// Package kvsnap is an integration workload beyond the paper's figures: a
+// Redis-style in-memory key-value store that serves writes while taking
+// fork-based snapshots (the virtual-memory snapshotting of §II-C). With
+// huge pages and the native kernel, every post-snapshot write risks a 2 MB
+// copy-on-write fault — the latency spikes that make Redis advise against
+// huge pages. The (MC)² kernel turns those copies into MCLAZY.
+package kvsnap
+
+import (
+	"math/rand"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/stats"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	StoreBytes   uint64 // huge-page-backed store (default 32 MB)
+	ValueSize    uint64 // bytes per value (default 1 KB)
+	Ops          int    // write operations (default 300)
+	SnapshotEach int    // fork a snapshot every N ops (default 100)
+	LazyCOW      bool   // the (MC)² kernel
+	Seed         int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StoreBytes == 0 {
+		c.StoreBytes = 32 << 20
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 1 << 10
+	}
+	if c.Ops == 0 {
+		c.Ops = 300
+	}
+	if c.SnapshotEach == 0 {
+		c.SnapshotEach = 100
+	}
+	return c
+}
+
+// Result carries the per-write latency distribution.
+type Result struct {
+	Latencies *stats.Histogram // cycles per write
+	Snapshots int
+	COWFaults uint64
+}
+
+// Run executes the store on a fresh machine.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	p := machine.DefaultParams()
+	p.MemSize = cfg.StoreBytes*4 + (128 << 20)
+	m := machine.New(p)
+	k := oskern.New(m)
+	k.LazyCOW = cfg.LazyCOW
+
+	as := k.NewAddressSpace()
+	base := memdata.VAddr(1 << 32)
+	as.MapRegion(base, cfg.StoreBytes, true)
+
+	slots := cfg.StoreBytes / cfg.ValueSize
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Latencies: &stats.Histogram{}}
+	value := make([]byte, cfg.ValueSize)
+
+	m.Run(func(c *cpu.Core) {
+		// Populate the store so its pages are resident.
+		for off := uint64(0); off < cfg.StoreBytes; off += memdata.PageSize {
+			as.Store(c, base+memdata.VAddr(off), []byte{1})
+		}
+		c.Fence()
+		for op := 0; op < cfg.Ops; op++ {
+			if op%cfg.SnapshotEach == 0 {
+				// Background snapshotter: in Redis this child would write
+				// the RDB file; for latency purposes only the fork and the
+				// COW protection matter.
+				as.Fork(c)
+				res.Snapshots++
+			}
+			slot := uint64(rnd.Intn(int(slots)))
+			rnd.Read(value[:16])
+			t0 := c.Now()
+			as.Store(c, base+memdata.VAddr(slot*cfg.ValueSize), value)
+			c.Fence()
+			res.Latencies.Add(float64(c.Now() - t0))
+		}
+	})
+	res.COWFaults = k.Stats.HugeCOWFaults
+	return res
+}

@@ -1,0 +1,49 @@
+package kvsnap
+
+import "testing"
+
+func quick(lazy bool) Config {
+	return Config{StoreBytes: 8 << 20, Ops: 60, SnapshotEach: 30, LazyCOW: lazy, Seed: 9}
+}
+
+func TestSnapshotsCauseFaults(t *testing.T) {
+	res := Run(quick(false))
+	if res.Snapshots != 2 {
+		t.Fatalf("Snapshots = %d", res.Snapshots)
+	}
+	if res.COWFaults == 0 {
+		t.Fatal("no COW faults despite post-snapshot writes")
+	}
+	if res.Latencies.N() != 60 {
+		t.Fatalf("measured %d writes", res.Latencies.N())
+	}
+}
+
+// TestLazyKernelKillsTailLatency is the Redis story: the native kernel's
+// p99/median write-latency ratio explodes under huge-page snapshots; the
+// (MC)² kernel keeps the tail within a small factor of the median.
+func TestLazyKernelKillsTailLatency(t *testing.T) {
+	native := Run(quick(false))
+	lazy := Run(quick(true))
+	nTail := native.Latencies.Percentile(99) / native.Latencies.Percentile(50)
+	lTail := lazy.Latencies.Percentile(99) / lazy.Latencies.Percentile(50)
+	t.Logf("p99/p50: native=%.0fx lazy=%.1fx (max: native=%.0f lazy=%.0f cycles)",
+		nTail, lTail, native.Latencies.Max(), lazy.Latencies.Max())
+	if nTail < 20 {
+		t.Errorf("native tail ratio %.1f too small; huge COW spikes missing", nTail)
+	}
+	if lTail > nTail/10 {
+		t.Errorf("lazy kernel tail ratio %.1f not ≥10x better than native %.1f", lTail, nTail)
+	}
+	if lazy.Latencies.Max()*10 >= native.Latencies.Max() {
+		t.Errorf("worst case: lazy %.0f not ≥10x below native %.0f",
+			lazy.Latencies.Max(), native.Latencies.Max())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := Run(quick(true)), Run(quick(true))
+	if a.Latencies.Max() != b.Latencies.Max() || a.COWFaults != b.COWFaults {
+		t.Fatal("non-deterministic runs")
+	}
+}

@@ -1,0 +1,380 @@
+// Package micro implements the paper's microbenchmarks (§V-A, §V-C):
+// copy latency across sizes and mechanisms (Fig 10), the memcpy_lazy
+// overhead breakdown (Fig 11), sequential and random destination-access
+// sweeps (Figs 12 and 13), and the source-overwrite BPQ sweep (Fig 21).
+package micro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/softmc"
+	"mcsquare/internal/stats"
+	"mcsquare/internal/zio"
+)
+
+// Options scales the microbenchmarks. The zero value uses the paper's
+// parameters; Quick shrinks the big buffers for fast test/bench runs.
+type Options struct {
+	MaxSize uint64 // largest copy in the Fig 10/11 sweeps (default 4 MB)
+	BufSize uint64 // buffer for the access sweeps and Fig 21 (default 4 MB)
+	// L2Size overrides the shared cache size (0 keeps the default 2 MB).
+	// Quick runs shrink the L2 along with the buffers so the access sweeps
+	// stay in the paper's regime where the buffer exceeds the cache.
+	L2Size int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSize == 0 {
+		o.MaxSize = 4 << 20
+	}
+	if o.BufSize == 0 {
+		o.BufSize = 4 << 20
+	}
+	return o
+}
+
+// Quick returns options sized for fast runs (unit tests, smoke benches).
+func Quick() Options { return Options{MaxSize: 256 << 10, BufSize: 256 << 10, L2Size: 128 << 10} }
+
+func (o Options) newMachine(mutate func(*machine.Params)) *machine.Machine {
+	p := machine.DefaultParams()
+	if o.L2Size != 0 {
+		p.Cache.L2Size = o.L2Size
+	}
+	if mutate != nil {
+		mutate(&p)
+	}
+	return machine.New(p)
+}
+
+// timeOn runs fn on core 0 of a fresh machine built by mutate and returns
+// the cycles fn took.
+func timeOn(opt Options, mutate func(*machine.Params), setup func(m *machine.Machine) (src, dst memdata.Addr),
+	fn func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr)) sim.Cycle {
+	m := opt.newMachine(mutate)
+	src, dst := setup(m)
+	var dur sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		fn(c, m, src, dst)
+		dur = c.Now() - start
+	})
+	return dur
+}
+
+// prefault allocates and fills source and destination buffers: the data is
+// resident in memory but not in any cache, matching the Fig 10 setup.
+func prefault(size uint64) func(m *machine.Machine) (src, dst memdata.Addr) {
+	return func(m *machine.Machine) (memdata.Addr, memdata.Addr) {
+		src := m.AllocPage(size + memdata.PageSize)
+		dst := m.AllocPage(size + memdata.PageSize)
+		m.FillRandom(src, size, int64(size))
+		return src, dst
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10: copy latency across mechanisms
+// ---------------------------------------------------------------------------
+
+// Sizes10 is the Fig 10 x-axis up to max.
+func Sizes10(max uint64) []uint64 {
+	all := []uint64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	var out []uint64
+	for _, s := range all {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CopyLatency produces the Fig 10 table: copy latency in ns for native
+// memcpy, zIO, touched (cached-source) memcpy, and (MC)².
+func CopyLatency(opt Options) *stats.Table {
+	opt = opt.withDefaults()
+	tb := stats.NewTable("Figure 10: copy latency (ns), prefaulted buffers",
+		"size", "memcpy", "zio", "touched_memcpy", "mc2")
+	for _, size := range Sizes10(opt.MaxSize) {
+		size := size
+		memcpyT := timeOn(opt, nil, prefault(size), func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
+			softmc.MemcpyEager(c, dst, src, size)
+		})
+		zioT := timeOn(opt, func(p *machine.Params) { p.LazyEnabled = false }, prefault(size),
+			func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
+				z := zio.New(oskern.New(m))
+				z.Memcpy(c, dst, src, size)
+			})
+		// Touched memcpy: warm the source first, then time only the copy.
+		touchedT := func() sim.Cycle {
+			m := opt.newMachine(nil)
+			src, dst := prefault(size)(m)
+			var dur sim.Cycle
+			m.Run(func(c *cpu.Core) {
+				m.Warm(c, memdata.Range{Start: src, Size: size})
+				start := c.Now()
+				softmc.MemcpyEager(c, dst, src, size)
+				dur = c.Now() - start
+			})
+			return dur
+		}()
+		mc2T := timeOn(opt, nil, prefault(size), func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
+			softmc.MemcpyLazy(c, dst, src, size)
+		})
+		tb.AddRow(sizeLabel(size), stats.CyclesToNs(memcpyT), stats.CyclesToNs(zioT),
+			stats.CyclesToNs(touchedT), stats.CyclesToNs(mc2T))
+	}
+	return tb
+}
+
+func sizeLabel(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 11: memcpy_lazy overhead breakdown
+// ---------------------------------------------------------------------------
+
+// Breakdown produces the Fig 11 table: the fraction of memcpy_lazy's
+// overhead spent writing back cachelines (CLWB) versus sending the lazy
+// copy packets to the controller (MCLAZY), measured by running each
+// component in isolation.
+func Breakdown(opt Options) *stats.Table {
+	opt = opt.withDefaults()
+	tb := stats.NewTable("Figure 11: memcpy_lazy overhead breakdown (fraction)",
+		"size", "cacheline_writeback", "packet_to_memctrl")
+	for _, size := range Sizes10(opt.MaxSize) {
+		size := size
+		clwbT := timeOn(opt, nil, prefault(size), func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
+			for l := memdata.LineAlign(src); l < src+memdata.Addr(size); l += memdata.LineSize {
+				c.CLWB(l)
+			}
+			c.Fence()
+		})
+		packetT := timeOn(opt, nil, prefault(size), func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
+			// One MCLAZY per page, as the wrapper issues them.
+			for off := uint64(0); off < size; off += memdata.PageSize {
+				chunk := min(uint64(memdata.PageSize), size-off)
+				chunk &^= memdata.LineSize - 1
+				if chunk == 0 {
+					continue
+				}
+				c.MCLazy(memdata.Range{Start: dst + memdata.Addr(off), Size: chunk}, src+memdata.Addr(off))
+			}
+			c.Fence()
+		})
+		total := float64(clwbT + packetT)
+		tb.AddRow(sizeLabel(size), float64(clwbT)/total, float64(packetT)/total)
+	}
+	return tb
+}
+
+// ---------------------------------------------------------------------------
+// Figs 12 and 13: destination access sweeps
+// ---------------------------------------------------------------------------
+
+// Fractions is the x-axis of the access sweeps.
+func Fractions() []float64 { return []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0} }
+
+// seqVariant runs copy-then-sequential-scan and returns total cycles.
+// copier performs the copy; align offsets the source inside its buffer.
+func seqVariant(opt Options, frac float64, mkCopier func(m *machine.Machine) copykit.Copier,
+	aligned bool, prefetch bool, lazyMachine bool) sim.Cycle {
+	size := opt.BufSize
+	m := opt.newMachine(func(p *machine.Params) {
+		p.LazyEnabled = lazyMachine
+		p.Cache.Prefetch.Enabled = prefetch
+	})
+	srcBase := m.AllocPage(size + memdata.PageSize)
+	dst := m.AllocPage(size + memdata.PageSize)
+	src := srcBase
+	if !aligned {
+		src += 20 // misaligned: every dest line needs two source lines
+	}
+	m.FillRandom(src, size, 99)
+	cp := mkCopier(m)
+	var dur sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		cp.Memcpy(c, dst, src, size)
+		limit := uint64(frac * float64(size))
+		for off := uint64(0); off+8 <= limit; off += memdata.LineSize {
+			cp.ReadAsync(c, dst+memdata.Addr(off), 8)
+		}
+		c.Fence()
+		dur = c.Now() - start
+	})
+	return dur
+}
+
+// SeqAccess produces the Fig 12 table: runtime of copy + sequential scan
+// of a fraction of the destination, normalized to native memcpy.
+func SeqAccess(opt Options) *stats.Table {
+	opt = opt.withDefaults()
+	tb := stats.NewTable("Figure 12: sequential destination access, normalized runtime (4MB copy, misaligned)",
+		"fraction", "memcpy", "zio", "mc2", "mc2_aligned", "mc2_noprefetch")
+	for _, f := range Fractions() {
+		base := seqVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Eager{} }, false, true, false)
+		zv := seqVariant(opt, f, func(m *machine.Machine) copykit.Copier { return zio.New(oskern.New(m)) }, false, true, false)
+		mc2 := seqVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, false, true, true)
+		mc2a := seqVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, true, true, true)
+		mc2np := seqVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, false, false, true)
+		b := float64(base)
+		tb.AddRow(f, 1.0, float64(zv)/b, float64(mc2)/b, float64(mc2a)/b, float64(mc2np)/b)
+	}
+	return tb
+}
+
+// randVariant runs copy-then-pointer-chase and returns total cycles. The
+// source holds a random cyclic permutation of 8-byte indices; the chase
+// follows frac*N of them, making every access dependent.
+func randVariant(opt Options, frac float64, mkCopier func(m *machine.Machine) copykit.Copier,
+	aligned bool, writeback bool, lazyMachine bool) sim.Cycle {
+	size := opt.BufSize
+	n := size / 8
+	m := opt.newMachine(func(p *machine.Params) {
+		p.LazyEnabled = lazyMachine
+		p.Lazy.WritebackOnBounce = writeback
+	})
+	srcBase := m.AllocPage(size + memdata.PageSize)
+	dst := m.AllocPage(size + memdata.PageSize)
+	src := srcBase
+	if !aligned {
+		src += 24
+	}
+	// Build a single random cycle over n slots, stored as the values.
+	perm := rand.New(rand.NewSource(1234)).Perm(int(n))
+	next := make([]uint64, n)
+	for i := 0; i < int(n)-1; i++ {
+		next[perm[i]] = uint64(perm[i+1])
+	}
+	next[perm[n-1]] = uint64(perm[0])
+	buf := make([]byte, size)
+	for i, v := range next {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	m.Phys.Write(src, buf)
+
+	cp := mkCopier(m)
+	steps := uint64(frac * float64(n))
+	var dur sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		cp.Memcpy(c, dst, src, size)
+		idx := uint64(perm[0])
+		for i := uint64(0); i < steps; i++ {
+			v := cp.Read(c, dst+memdata.Addr(idx*8), 8)
+			idx = binary.LittleEndian.Uint64(v)
+		}
+		dur = c.Now() - start
+	})
+	return dur
+}
+
+// RandAccess produces the Fig 13 table: runtime of copy + random pointer
+// chase over a fraction of the destination, normalized to native memcpy.
+func RandAccess(opt Options) *stats.Table {
+	opt = opt.withDefaults()
+	tb := stats.NewTable("Figure 13: random destination access, normalized runtime (pointer chase, misaligned)",
+		"fraction", "memcpy", "zio", "mc2", "mc2_aligned", "mc2_nowriteback")
+	for _, f := range Fractions() {
+		base := randVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Eager{} }, false, true, false)
+		zv := randVariant(opt, f, func(m *machine.Machine) copykit.Copier { return zio.New(oskern.New(m)) }, false, true, false)
+		mc2 := randVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, false, true, true)
+		mc2a := randVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, true, true, true)
+		mc2nw := randVariant(opt, f, func(m *machine.Machine) copykit.Copier { return copykit.Lazy{} }, false, false, true)
+		b := float64(base)
+		tb.AddRow(f, 1.0, float64(zv)/b, float64(mc2)/b, float64(mc2a)/b, float64(mc2nw)/b)
+	}
+	return tb
+}
+
+// ---------------------------------------------------------------------------
+// Fig 21: source-overwrite BPQ sweep
+// ---------------------------------------------------------------------------
+
+// SrcWriteSizes is the Fig 21 x-axis up to max.
+func SrcWriteSizes(max uint64) []uint64 {
+	all := []uint64{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	var out []uint64
+	for _, s := range all {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BPQEntries is the Fig 21 series.
+func BPQEntries() []int { return []int{1, 2, 4, 8, 16} }
+
+// srcWriteRun lazily copies a buffer, overwrites the source, and flushes
+// the writes with CLWB + fence, bringing the BPQ into the critical path.
+func srcWriteRun(opt Options, size uint64, bpq int) sim.Cycle {
+	m := opt.newMachine(func(p *machine.Params) { p.Lazy.BPQCapacity = bpq })
+	src := m.AllocPage(size)
+	dst := m.AllocPage(size)
+	m.FillRandom(src, size, 7)
+	var dur sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		// The source is application data the program recently produced:
+		// cache-resident. (Uncached sources make the overwrite phase's RFO
+		// misses the bottleneck and mask the BPQ entirely.)
+		m.Warm(c, memdata.Range{Start: src, Size: size})
+		softmc.MemcpyLazy(c, dst, src, size)
+		start := c.Now()
+		// Paper's phases: overwrite the source buffer, then flush the
+		// writes from the cache, then fence — the flush brings the BPQ
+		// into the critical path.
+		junk := make([]byte, memdata.LineSize)
+		for off := uint64(0); off < size; off += memdata.LineSize {
+			junk[0] = byte(off)
+			c.Store(src+memdata.Addr(off), junk)
+		}
+		for off := uint64(0); off < size; off += memdata.LineSize {
+			c.CLWB(src + memdata.Addr(off))
+		}
+		c.Fence()
+		dur = c.Now() - start
+	})
+	return dur
+}
+
+// SrcWrite produces the Fig 21 table: runtime of the source-overwrite
+// microbenchmark for varying BPQ sizes, normalized to 1 BPQ entry.
+func SrcWrite(opt Options) *stats.Table {
+	opt = opt.withDefaults()
+	cols := []string{"buffer"}
+	for _, e := range BPQEntries() {
+		cols = append(cols, fmt.Sprintf("bpq%d", e))
+	}
+	tb := stats.NewTable("Figure 21: source-overwrite runtime, normalized to 1 BPQ entry", cols...)
+	for _, size := range SrcWriteSizes(opt.BufSize) {
+		row := []interface{}{sizeLabel(size)}
+		var base sim.Cycle
+		for i, e := range BPQEntries() {
+			d := srcWriteRun(opt, size, e)
+			if i == 0 {
+				base = d
+			}
+			row = append(row, float64(d)/float64(base))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}

@@ -1,0 +1,158 @@
+package micro
+
+import (
+	"strconv"
+	"testing"
+)
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestCopyLatencyShape checks the Fig 10 relationships at quick scale:
+// (MC)² beats memcpy at ≥1 KB, zIO loses below ~64 KB, touched memcpy
+// beats cold memcpy everywhere.
+func TestCopyLatencyShape(t *testing.T) {
+	tb := CopyLatency(Quick())
+	rows := tb.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		size, memcpyT, zioT, touched, mc2 := row[0], parse(t, row[1]), parse(t, row[2]), parse(t, row[3]), parse(t, row[4])
+		// The cached-source advantage only exists while the source fits in
+		// the (quick-scale, 128 KB) L2.
+		switch size {
+		case "64B", "256B", "1KB", "4KB", "16KB", "64KB":
+			if touched >= memcpyT {
+				t.Errorf("%s: touched (%.0f) not faster than cold memcpy (%.0f)", size, touched, memcpyT)
+			}
+		}
+		switch size {
+		case "4KB", "16KB", "64KB", "256KB":
+			if mc2 >= memcpyT {
+				t.Errorf("%s: mc2 (%.0f) not faster than memcpy (%.0f)", size, mc2, memcpyT)
+			}
+		case "64B":
+			if mc2 < memcpyT/4 {
+				t.Errorf("%s: mc2 suspiciously fast (%.0f vs %.0f)", size, mc2, memcpyT)
+			}
+		}
+		if size == "16KB" && zioT <= memcpyT {
+			t.Errorf("16KB: zIO (%.0f) should lose to memcpy (%.0f)", zioT, memcpyT)
+		}
+		if size == "256KB" && zioT >= memcpyT {
+			t.Errorf("256KB: zIO (%.0f) should beat memcpy (%.0f)", zioT, memcpyT)
+		}
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	tb := Breakdown(Quick())
+	for _, row := range tb.Rows() {
+		a, b := parse(t, row[1]), parse(t, row[2])
+		if s := a + b; s < 0.999 || s > 1.001 {
+			t.Fatalf("%s: fractions sum to %v", row[0], s)
+		}
+	}
+	// Writeback share grows with size (Fig 11's trend).
+	rows := tb.Rows()
+	first := parse(t, rows[0][1])
+	last := parse(t, rows[len(rows)-1][1])
+	if last <= first {
+		t.Fatalf("CLWB share should grow with size: %v -> %v", first, last)
+	}
+}
+
+// TestSeqAccessShape checks the Fig 12 relationships: (MC)² stays below
+// memcpy with prefetching; aligned beats misaligned; disabling prefetch
+// hurts at high access fractions; zIO degrades as access grows.
+func TestSeqAccessShape(t *testing.T) {
+	tb := SeqAccess(Quick())
+	rows := tb.Rows()
+	last := rows[len(rows)-1] // 100% accessed
+	zio100 := parse(t, last[2])
+	mc2_100 := parse(t, last[3])
+	al100 := parse(t, last[4])
+	np100 := parse(t, last[5])
+	if mc2_100 >= 1.1 {
+		t.Errorf("mc2 at 100%% access = %.2fx memcpy; want ≈ ≤1x (prefetch hides bounces)", mc2_100)
+	}
+	if al100 > mc2_100+0.01 {
+		t.Errorf("aligned (%.2f) should not be slower than misaligned (%.2f)", al100, mc2_100)
+	}
+	if np100 <= mc2_100 {
+		t.Errorf("no-prefetch (%.2f) should be slower than prefetch (%.2f)", np100, mc2_100)
+	}
+	if zio100 <= 1.0 {
+		t.Errorf("zIO at 100%% access (%.2f) should lose to memcpy", zio100)
+	}
+	// At 0% access everything lazy wins big.
+	first := rows[0]
+	if mc2_0 := parse(t, first[3]); mc2_0 >= 0.7 {
+		t.Errorf("mc2 at 0%% access = %.2f; want well under memcpy", mc2_0)
+	}
+}
+
+// TestRandAccessShape checks Fig 13: the bounce writeback matters, aligned
+// beats misaligned, zIO suffers from faults at low fractions.
+func TestRandAccessShape(t *testing.T) {
+	tb := RandAccess(Quick())
+	rows := tb.Rows()
+	// Use the 25% row (index 2) for zIO's fault-dominated regime.
+	ziolow := parse(t, rows[2][2])
+	if ziolow <= 1.0 {
+		t.Errorf("zIO at low random access (%.2f) should lose to memcpy", ziolow)
+	}
+	last := rows[len(rows)-1]
+	mc2 := parse(t, last[3])
+	al := parse(t, last[4])
+	nw := parse(t, last[5])
+	if nw <= mc2 {
+		t.Errorf("no-writeback (%.2f) should be slower than writeback (%.2f)", nw, mc2)
+	}
+	if al > mc2+0.02 {
+		t.Errorf("aligned (%.2f) should not be slower than misaligned (%.2f)", al, mc2)
+	}
+}
+
+// TestSrcWriteShape checks Fig 21: more BPQ entries never hurt, and the
+// 1→2 step helps far more than the 8→16 step (diminishing returns).
+func TestSrcWriteShape(t *testing.T) {
+	tb := SrcWrite(Options{BufSize: 64 << 10})
+	for _, row := range tb.Rows() {
+		prev := parse(t, row[1]) // bpq1, normalized to itself = 1.0
+		if prev != 1.0 {
+			t.Fatalf("normalization broken: %v", prev)
+		}
+		vals := make([]float64, 0, 5)
+		for i := 1; i < len(row); i++ {
+			vals = append(vals, parse(t, row[i]))
+		}
+		// 1 → 2 entries is the big win (the paper reports 35%).
+		if vals[1] > vals[0]*0.85 {
+			t.Errorf("%s: bpq2 (%.3f) should be well below bpq1 (%.3f)", row[0], vals[1], vals[0])
+		}
+		// Monotone through 8 entries; 16 may regress slightly from DRAM
+		// contention (the paper, too, found 16 worth only ~2% over 8).
+		for i := 2; i < 4; i++ {
+			if vals[i] > vals[i-1]*1.05 {
+				t.Errorf("%s: bpq%d (%.3f) slower than bpq%d (%.3f)",
+					row[0], BPQEntries()[i], vals[i], BPQEntries()[i-1], vals[i-1])
+			}
+		}
+		if vals[4] > vals[3]*1.2 {
+			t.Errorf("%s: bpq16 (%.3f) regressed too far from bpq8 (%.3f)", row[0], vals[4], vals[3])
+		}
+		gain12 := vals[0] - vals[1]
+		gain816 := vals[3] - vals[4]
+		if gain816 > gain12 {
+			t.Errorf("%s: diminishing returns violated (1→2: %.3f, 8→16: %.3f)", row[0], gain12, gain816)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package mongo models the paper's MongoDB experiment (§V-B, Fig 15): the
+// YCSB load phase with 10 fields of 100 KB per insert. Each insert moves
+// its document through the store's copy pipeline — receive buffer →
+// document storage → journal — then the indexing and journaling paths read
+// the copied data back.
+//
+// That copy-then-access pattern is the experiment's point: zIO elides the
+// large page-aligned copies but then faults on every journal page it reads
+// (slowing inserts), while (MC)² pays only bounces that prefetching hides.
+package mongo
+
+import (
+	"math/rand"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
+)
+
+// Config parameterizes one load phase.
+type Config struct {
+	Inserts   int    // documents inserted (paper: 50)
+	Fields    int    // fields per document (paper: 10)
+	FieldSize uint64 // bytes per field (paper: 100 KB)
+	Seed      int64
+
+	// IndexPrefix is how many bytes of each field the B-tree index reads
+	// to build its keys.
+	IndexPrefix uint64
+	// JournalAccess is the fraction of the journaled document the commit
+	// path touches (sequential read, as a disk write() would).
+	JournalAccess float64
+
+	Copier copykit.Copier
+}
+
+func (c Config) withDefaults() Config {
+	if c.Inserts == 0 {
+		c.Inserts = 50
+	}
+	if c.Fields == 0 {
+		c.Fields = 10
+	}
+	if c.FieldSize == 0 {
+		c.FieldSize = 100 << 10
+	}
+	if c.IndexPrefix == 0 {
+		c.IndexPrefix = 1 << 10
+	}
+	if c.JournalAccess == 0 {
+		c.JournalAccess = 1.0
+	}
+	if c.Copier == nil {
+		c.Copier = copykit.Eager{}
+	}
+	return c
+}
+
+// Result reports insert latencies.
+type Result struct {
+	Cycles    sim.Cycle
+	Latencies *stats.Histogram // per-insert cycles
+}
+
+// AvgInsertMs returns the mean insert latency in milliseconds.
+func (r Result) AvgInsertMs() float64 {
+	return stats.CyclesToMs(uint64(r.Latencies.Mean()))
+}
+
+// NewMachine builds a machine sized for this workload.
+func NewMachine(lazy bool) *machine.Machine {
+	p := machine.DefaultParams()
+	p.LazyEnabled = lazy
+	p.MemSize = 768 << 20
+	return machine.New(p)
+}
+
+// Run executes the load phase on core 0.
+func Run(m *machine.Machine, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Latencies: &stats.Histogram{}}
+
+	docBytes := uint64(cfg.Fields) * cfg.FieldSize
+	// The journal is a recycled ring, as MongoDB's is.
+	journal := m.AllocPage(2 * docBytes)
+	jOff := uint64(0)
+
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		for ins := 0; ins < cfg.Inserts; ins++ {
+			t0 := c.Now()
+
+			// Receive: the client's document lands in a fresh buffer via
+			// DMA (contents in memory, cold in cache).
+			recv := m.AllocPage(docBytes)
+			m.FillRandom(recv, docBytes, cfg.Seed+int64(ins))
+
+			// Store: copy each field into the collection's storage.
+			store := m.AllocPage(docBytes)
+			for f := 0; f < cfg.Fields; f++ {
+				off := memdata.Addr(uint64(f) * cfg.FieldSize)
+				cfg.Copier.Memcpy(c, store+off, recv+off, cfg.FieldSize)
+			}
+
+			// Index: read each stored field's key prefix into the B-tree.
+			for f := 0; f < cfg.Fields; f++ {
+				off := store + memdata.Addr(uint64(f)*cfg.FieldSize)
+				for b := uint64(0); b < cfg.IndexPrefix; b += memdata.LineSize {
+					cfg.Copier.ReadAsync(c, off+memdata.Addr(b), 8)
+				}
+			}
+			c.Fence()
+			// B-tree bookkeeping (node splits, comparisons).
+			c.Compute(sim.Cycle(2000 + rnd.Intn(500)))
+
+			// Journal: copy the document into the ring, then the commit
+			// path streams it out (every touched page is read).
+			jDst := journal + memdata.Addr(jOff)
+			cfg.Copier.Memcpy(c, jDst, store, docBytes)
+			touched := uint64(cfg.JournalAccess * float64(docBytes))
+			for b := uint64(0); b < touched; b += memdata.LineSize {
+				cfg.Copier.ReadAsync(c, jDst+memdata.Addr(b), 8)
+			}
+			c.Fence()
+			// The flushed span is dead once "written to disk".
+			cfg.Copier.Free(c, memdata.Range{Start: jDst, Size: docBytes})
+			jOff = (jOff + docBytes) % (2 * docBytes)
+
+			res.Latencies.Add(float64(c.Now() - t0))
+		}
+		res.Cycles = c.Now() - start
+	})
+	return res
+}

@@ -1,0 +1,48 @@
+package mongo
+
+import (
+	"testing"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/zio"
+)
+
+func quickCfg(cp copykit.Copier) Config {
+	return Config{Inserts: 6, Fields: 4, FieldSize: 32 << 10, Seed: 3, Copier: cp}
+}
+
+func TestInsertLatencyOrdering(t *testing.T) {
+	// Fig 15: (MC)² speeds inserts up; zIO slows them down.
+	base := Run(NewMachine(false), quickCfg(copykit.Eager{}))
+	mc2 := Run(NewMachine(true), quickCfg(copykit.Lazy{Threshold: 1024}))
+	zm := NewMachine(false)
+	z := zio.New(oskern.New(zm))
+	zr := Run(zm, quickCfg(z))
+
+	bl, ml, zl := base.Latencies.Mean(), mc2.Latencies.Mean(), zr.Latencies.Mean()
+	t.Logf("insert latency: base=%.0f mc2=%.0f (%.1f%%) zio=%.0f (%+.1f%%)",
+		bl, ml, (bl-ml)/bl*100, zl, (zl-bl)/bl*100)
+	if ml >= bl {
+		t.Errorf("(MC)² insert latency %.0f not below baseline %.0f", ml, bl)
+	}
+	if zl <= bl {
+		t.Errorf("zIO insert latency %.0f should exceed baseline %.0f (copy-on-access faults)", zl, bl)
+	}
+	if z.Stats.Faults == 0 {
+		t.Error("zIO took no faults despite journal reads")
+	}
+	if z.Stats.ElidedPages == 0 {
+		t.Error("zIO elided nothing despite 32KB page-aligned copies")
+	}
+}
+
+func TestInsertsAreMeasured(t *testing.T) {
+	res := Run(NewMachine(false), quickCfg(copykit.Eager{}))
+	if res.Latencies.N() != 6 {
+		t.Fatalf("measured %d inserts", res.Latencies.N())
+	}
+	if res.AvgInsertMs() <= 0 {
+		t.Fatal("zero insert latency")
+	}
+}

@@ -1,0 +1,153 @@
+// Package mvcc models the paper's Cicada-style multi-version concurrency
+// control experiment (§V-B, Figs 16, 17, 22): a table of 8 KB rows under a
+// 50:50 read/update transaction mix, where every update first copies the
+// tuple to a new version and then modifies a configurable fraction of it.
+//
+// (MC)² lets the version copy be lazy, so an update pays memory traffic
+// only for the fraction it actually modifies — the paper's tuple-wise
+// copying with sub-tuple cost.
+package mvcc
+
+import (
+	"math/rand"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/softmc"
+)
+
+// Mode selects how updates write the modified fraction.
+type Mode int
+
+// Update modes (Fig 16 uses RMW; Fig 17 uses the write-only pair).
+const (
+	RMW         Mode = iota // read-modify-write: load then store each touched line
+	WriteOnly               // plain stores (RFO reads the line first)
+	WriteOnlyNT             // non-temporal stores (no RFO)
+)
+
+// Config parameterizes one run.
+type Config struct {
+	Threads        int     // cores running transactions (paper: 1 and 8)
+	Rows           int     // table size (default 512)
+	RowSize        uint64  // bytes per tuple (paper: 8 KB)
+	OpsPerThread   int     // transactions per thread (default 400)
+	UpdateFraction float64 // fraction of the tuple modified (Fig 16/17 x-axis)
+	Mode           Mode
+	Lazy           bool // version copies via memcpy_lazy
+	Seed           int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Rows == 0 {
+		c.Rows = 512
+	}
+	if c.RowSize == 0 {
+		c.RowSize = 8 << 10
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 400
+	}
+	if c.UpdateFraction == 0 {
+		c.UpdateFraction = 0.0625
+	}
+	return c
+}
+
+// Result reports transaction throughput.
+type Result struct {
+	Cycles sim.Cycle
+	Ops    int
+}
+
+// ThroughputKOps returns committed transactions per second, in thousands,
+// at the simulated 4 GHz clock.
+func (r Result) ThroughputKOps() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / 4e9
+	return float64(r.Ops) / seconds / 1e3
+}
+
+// NewMachine builds a machine for the workload; mutate may adjust
+// parameters (parallel-free sweeps) and may be nil.
+func NewMachine(lazy bool, mutate func(*machine.Params)) *machine.Machine {
+	p := machine.DefaultParams()
+	p.LazyEnabled = lazy
+	if mutate != nil {
+		mutate(&p)
+	}
+	return machine.New(p)
+}
+
+// Run executes the transaction mix and returns aggregate throughput.
+// Rows are partitioned across threads (Cicada-style per-core ownership).
+func Run(m *machine.Machine, cfg Config) Result {
+	cfg = cfg.withDefaults()
+
+	// Each row has two version buffers; updates copy current → spare and
+	// swap, exactly the read-copy-update scheme of §II-B.
+	cur := make([]memdata.Addr, cfg.Rows)
+	spare := make([]memdata.Addr, cfg.Rows)
+	for i := range cur {
+		cur[i] = m.Alloc(cfg.RowSize, memdata.LineSize)
+		spare[i] = m.Alloc(cfg.RowSize, memdata.LineSize)
+		m.FillRandom(cur[i], cfg.RowSize, cfg.Seed+int64(i))
+	}
+
+	workers := make([]func(c *cpu.Core), cfg.Threads)
+	rowsPer := cfg.Rows / cfg.Threads
+	for tIdx := 0; tIdx < cfg.Threads; tIdx++ {
+		tIdx := tIdx
+		workers[tIdx] = func(c *cpu.Core) {
+			rnd := rand.New(rand.NewSource(cfg.Seed + int64(100+tIdx)))
+			lo := tIdx * rowsPer
+			touched := uint64(cfg.UpdateFraction * float64(cfg.RowSize))
+			line := make([]byte, memdata.LineSize)
+			for op := 0; op < cfg.OpsPerThread; op++ {
+				row := lo + rnd.Intn(rowsPer)
+				if rnd.Intn(2) == 0 {
+					// Read transaction: scan the current version.
+					for off := uint64(0); off < cfg.RowSize; off += memdata.LineSize {
+						c.LoadAsync(cur[row]+memdata.Addr(off), 8)
+					}
+					c.Fence()
+					continue
+				}
+				// Update transaction: version copy, then modify a fraction.
+				dst, src := spare[row], cur[row]
+				if cfg.Lazy {
+					softmc.MemcpyLazy(c, dst, src, cfg.RowSize)
+				} else {
+					softmc.MemcpyEager(c, dst, src, cfg.RowSize)
+				}
+				for off := uint64(0); off < touched; off += memdata.LineSize {
+					a := dst + memdata.Addr(off)
+					switch cfg.Mode {
+					case RMW:
+						v := c.Load(a, 8)
+						line[0] = v[0] + 1
+						c.Store(a, line[:8])
+					case WriteOnly:
+						line[0] = byte(op)
+						c.Store(a, line)
+					case WriteOnlyNT:
+						line[0] = byte(op)
+						c.StoreNT(a, line)
+					}
+				}
+				c.Fence()
+				// Commit: swap version pointers.
+				cur[row], spare[row] = spare[row], cur[row]
+			}
+		}
+	}
+	cycles := m.Run(workers...)
+	return Result{Cycles: cycles, Ops: cfg.Threads * cfg.OpsPerThread}
+}

@@ -1,0 +1,74 @@
+package mvcc
+
+import "testing"
+
+func quickCfg(lazy bool, frac float64, mode Mode, threads int) Config {
+	return Config{
+		Threads:        threads,
+		Rows:           128,
+		OpsPerThread:   60,
+		UpdateFraction: frac,
+		Mode:           mode,
+		Lazy:           lazy,
+		Seed:           5,
+	}
+}
+
+// TestLowFractionRMWSpeedup reproduces the Fig 16 left side: with small
+// update fractions, lazy tuple copies beat eager ones.
+func TestLowFractionRMWSpeedup(t *testing.T) {
+	base := Run(NewMachine(false, nil), quickCfg(false, 0.0625, RMW, 1))
+	lazy := Run(NewMachine(true, nil), quickCfg(true, 0.0625, RMW, 1))
+	bt, lt := base.ThroughputKOps(), lazy.ThroughputKOps()
+	t.Logf("RMW 6.25%%: base=%.0f kOps/s lazy=%.0f kOps/s (%.0f%%)", bt, lt, (lt-bt)/bt*100)
+	if lt <= bt {
+		t.Fatalf("lazy throughput %.0f not above baseline %.0f at 6.25%% updates", lt, bt)
+	}
+}
+
+// TestBenefitShrinksWithFraction: the lazy advantage at 100% updates must
+// be smaller than at 6.25% (Fig 16's single-thread crossover).
+func TestBenefitShrinksWithFraction(t *testing.T) {
+	ratio := func(frac float64) float64 {
+		base := Run(NewMachine(false, nil), quickCfg(false, frac, RMW, 1))
+		lazy := Run(NewMachine(true, nil), quickCfg(true, frac, RMW, 1))
+		return lazy.ThroughputKOps() / base.ThroughputKOps()
+	}
+	low, high := ratio(0.0625), ratio(1.0)
+	t.Logf("speedup ratio: 6.25%%=%.2f 100%%=%.2f", low, high)
+	if high >= low {
+		t.Fatalf("lazy advantage should shrink with update fraction (%.2f -> %.2f)", low, high)
+	}
+}
+
+// TestNTStoresHelpLazyWrites reproduces the Fig 17 nontemporal effect:
+// with write-only updates, NT stores avoid the RFO read and improve the
+// lazy variant.
+func TestNTStoresHelpLazyWrites(t *testing.T) {
+	wo := Run(NewMachine(true, nil), quickCfg(true, 0.5, WriteOnly, 1))
+	nt := Run(NewMachine(true, nil), quickCfg(true, 0.5, WriteOnlyNT, 1))
+	t.Logf("write-only=%.0f NT=%.0f kOps/s", wo.ThroughputKOps(), nt.ThroughputKOps())
+	if nt.ThroughputKOps() <= wo.ThroughputKOps() {
+		t.Fatalf("NT stores (%.0f) should beat RFO stores (%.0f) for lazy write-only updates",
+			nt.ThroughputKOps(), wo.ThroughputKOps())
+	}
+}
+
+// TestMultiThreadScales: 8 threads must complete more work per cycle than
+// 1 thread (bandwidth-bound, not serialized).
+func TestMultiThreadScales(t *testing.T) {
+	one := Run(NewMachine(true, nil), quickCfg(true, 0.125, RMW, 1))
+	eight := Run(NewMachine(true, nil), quickCfg(true, 0.125, RMW, 8))
+	if eight.ThroughputKOps() <= one.ThroughputKOps()*2 {
+		t.Fatalf("8 threads (%.0f) should be >2x 1 thread (%.0f)",
+			eight.ThroughputKOps(), one.ThroughputKOps())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(NewMachine(true, nil), quickCfg(true, 0.25, RMW, 4))
+	b := Run(NewMachine(true, nil), quickCfg(true, 0.25, RMW, 4))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic multi-thread run: %d vs %d", a.Cycles, b.Cycles)
+	}
+}

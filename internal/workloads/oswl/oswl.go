@@ -1,0 +1,125 @@
+// Package oswl implements the paper's operating-system experiments:
+// huge-page copy-on-write fault latency after fork (Fig 18) and pipe
+// transfer throughput with lazy kernel buffer copies (Fig 19).
+package oswl
+
+import (
+	"math/rand"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/sim"
+)
+
+// HugeCOWConfig parameterizes the Fig 18 experiment.
+type HugeCOWConfig struct {
+	RegionBytes uint64 // huge-page region snapshotted by fork (paper: 64 MB)
+	Accesses    int    // random 8-byte updates measured (paper plots 100)
+	Lazy        bool   // the modified kernel: MCLAZY in copy_user_huge_page
+	Seed        int64
+}
+
+func (c HugeCOWConfig) withDefaults() HugeCOWConfig {
+	if c.RegionBytes == 0 {
+		c.RegionBytes = 64 << 20
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 100
+	}
+	return c
+}
+
+// HugeCOW runs the Fig 18 experiment: map a huge-page region, fork, then
+// update random 8-byte elements, recording each update's latency in cycles
+// (the RDTSC measurement of §V-B). Returns the per-access latencies in
+// access order.
+func HugeCOW(cfg HugeCOWConfig) []uint64 {
+	cfg = cfg.withDefaults()
+	p := machine.DefaultParams()
+	p.MemSize = cfg.RegionBytes*3 + (64 << 20)
+	m := machine.New(p)
+	k := oskern.New(m)
+	k.LazyCOW = cfg.Lazy
+
+	as := k.NewAddressSpace()
+	base := memdata.VAddr(1 << 31)
+	as.MapRegion(base, cfg.RegionBytes, true)
+
+	lat := make([]uint64, 0, cfg.Accesses)
+	rnd := rand.New(rand.NewSource(cfg.Seed + 9))
+	m.Run(func(c *cpu.Core) {
+		// Touch the region so it is resident (the in-memory database).
+		for off := uint64(0); off < cfg.RegionBytes; off += memdata.PageSize {
+			c.LoadAsync(as.Translate(c, base+memdata.VAddr(off), false), 8)
+		}
+		c.Fence()
+		as.Fork(c) // concurrent snapshot (virtual memory snapshotting)
+		for i := 0; i < cfg.Accesses; i++ {
+			off := uint64(rnd.Intn(int(cfg.RegionBytes/8))) * 8
+			t0 := c.Now()
+			as.Store(c, base+memdata.VAddr(off), []byte{byte(i), 1, 2, 3, 4, 5, 6, 7})
+			c.Fence()
+			lat = append(lat, uint64(c.Now()-t0))
+		}
+	})
+	return lat
+}
+
+// PipeConfig parameterizes the Fig 19 experiment.
+type PipeConfig struct {
+	TransferSize uint64 // bytes per write/read pair (Fig 19 x-axis)
+	Transfers    int    // pairs measured (default 64)
+	Lazy         bool   // lazy pipe copies + MCFREE of consumed buffers
+	Seed         int64
+}
+
+func (c PipeConfig) withDefaults() PipeConfig {
+	if c.TransferSize == 0 {
+		c.TransferSize = 4 << 10
+	}
+	if c.Transfers == 0 {
+		c.Transfers = 64
+	}
+	return c
+}
+
+// PipeThroughput runs the Fig 19 experiment: a producer writes
+// TransferSize bytes into a pipe and a consumer reads them out, repeatedly.
+// Returns throughput in bytes per kilocycle.
+func PipeThroughput(cfg PipeConfig) float64 {
+	cfg = cfg.withDefaults()
+	p := machine.DefaultParams()
+	m := machine.New(p)
+	k := oskern.New(m)
+	k.LazyPipes = cfg.Lazy
+	k.FreePipeBuffers = cfg.Lazy
+
+	pipe := k.NewPipe(64 << 10)
+	user := m.AllocPage(cfg.TransferSize + memdata.PageSize)
+	out := m.AllocPage(cfg.TransferSize + memdata.PageSize)
+	m.FillRandom(user, cfg.TransferSize, cfg.Seed+3)
+
+	var dur sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		for i := 0; i < cfg.Transfers; i++ {
+			// The producer regenerates part of the message each iteration
+			// (touching the user buffer keeps the source cache state
+			// realistic), then transfers it.
+			c.Store(user, []byte{byte(i)})
+			sent := uint64(0)
+			for sent < cfg.TransferSize {
+				sent += pipe.Write(c, user+memdata.Addr(sent), cfg.TransferSize-sent)
+			}
+			got := uint64(0)
+			for got < cfg.TransferSize {
+				got += pipe.Read(c, out+memdata.Addr(got), cfg.TransferSize-got)
+			}
+		}
+		dur = c.Now() - start
+	})
+	total := float64(cfg.TransferSize) * float64(cfg.Transfers)
+	return total / (float64(dur) / 1000.0)
+}

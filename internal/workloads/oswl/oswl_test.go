@@ -1,0 +1,50 @@
+package oswl
+
+import "testing"
+
+func TestHugeCOWLatencyShape(t *testing.T) {
+	cfg := HugeCOWConfig{RegionBytes: 16 << 20, Accesses: 40, Seed: 1}
+	native := HugeCOW(cfg)
+	cfg.Lazy = true
+	lazy := HugeCOW(cfg)
+	if len(native) != 40 || len(lazy) != 40 {
+		t.Fatalf("lengths: %d, %d", len(native), len(lazy))
+	}
+	maxOf := func(xs []uint64) uint64 {
+		m := uint64(0)
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	nMax, lMax := maxOf(native), maxOf(lazy)
+	t.Logf("worst-case fault latency: native=%d lazy=%d (%.0fx lower)", nMax, lMax, float64(nMax)/float64(lMax))
+	// Fig 18: the paper reports up to 250x lower worst-case latency; at
+	// our scale we require at least an order of magnitude.
+	if lMax*10 >= nMax {
+		t.Fatalf("lazy worst case %d not ≥10x below native %d", lMax, nMax)
+	}
+}
+
+func TestPipeThroughputShape(t *testing.T) {
+	// Fig 19: lazy pipes roughly double throughput at larger transfers.
+	for _, size := range []uint64{4 << 10, 16 << 10} {
+		native := PipeThroughput(PipeConfig{TransferSize: size, Transfers: 24})
+		lazy := PipeThroughput(PipeConfig{TransferSize: size, Transfers: 24, Lazy: true})
+		t.Logf("%dKB: native=%.0f lazy=%.0f B/kcycle (%.2fx)", size>>10, native, lazy, lazy/native)
+		if lazy <= native {
+			t.Fatalf("%d: lazy (%.0f) not above native (%.0f)", size, lazy, native)
+		}
+	}
+	// The gain at 16KB must exceed the gain at 1KB (syscall-dominated).
+	small := PipeThroughput(PipeConfig{TransferSize: 1 << 10, Transfers: 24, Lazy: true}) /
+		PipeThroughput(PipeConfig{TransferSize: 1 << 10, Transfers: 24})
+	big := PipeThroughput(PipeConfig{TransferSize: 16 << 10, Transfers: 24, Lazy: true}) /
+		PipeThroughput(PipeConfig{TransferSize: 16 << 10, Transfers: 24})
+	t.Logf("gain: 1KB=%.2fx 16KB=%.2fx", small, big)
+	if big <= small {
+		t.Fatalf("lazy gain should grow with transfer size (1KB %.2fx vs 16KB %.2fx)", small, big)
+	}
+}

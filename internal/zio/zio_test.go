@@ -1,0 +1,199 @@
+package zio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/softmc"
+)
+
+func newZ() (*machine.Machine, *Copier) {
+	p := machine.DefaultParams()
+	p.LazyEnabled = false // zIO runs on a stock machine
+	m := machine.New(p)
+	return m, New(oskern.New(m))
+}
+
+func TestElideThenReadMatches(t *testing.T) {
+	m, z := newZ()
+	const n = 64 << 10
+	src := m.AllocPage(n)
+	dst := m.AllocPage(n)
+	m.FillRandom(src, n, 1)
+	want := m.Phys.Read(src, n)
+	var got []byte
+	m.Run(func(c *cpu.Core) {
+		z.Memcpy(c, dst, src, n)
+		if z.Pending() == 0 {
+			t.Error("no pages elided for a 64KB page-aligned copy")
+		}
+		got = z.Read(c, dst, n)
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatal("copy-on-access data mismatch")
+	}
+	if z.Stats.Faults == 0 {
+		t.Fatal("reads of elided pages took no faults")
+	}
+	if z.Pending() != 0 {
+		t.Fatalf("%d pages still elided after full read", z.Pending())
+	}
+}
+
+func TestSmallCopiesStayEager(t *testing.T) {
+	m, z := newZ()
+	src := m.AllocPage(8 << 10)
+	dst := m.AllocPage(8 << 10)
+	m.FillRandom(src, 8<<10, 2)
+	m.Run(func(c *cpu.Core) {
+		z.Memcpy(c, dst+5, src+9, 2000) // sub-page
+		got := z.Read(c, dst+5, 2000)
+		want := m.Phys.Read(src+9, 2000)
+		if !bytes.Equal(got, want) {
+			t.Error("small eager copy mismatch")
+		}
+	})
+	if z.Stats.ElideCalls != 0 || z.Stats.EagerCalls == 0 {
+		t.Fatalf("stats: %+v", z.Stats)
+	}
+}
+
+func TestWriteMaterializes(t *testing.T) {
+	m, z := newZ()
+	src := m.AllocPage(memdata.PageSize)
+	dst := m.AllocPage(memdata.PageSize)
+	m.FillRandom(src, memdata.PageSize, 3)
+	want := m.Phys.Read(src, memdata.PageSize)
+	m.Run(func(c *cpu.Core) {
+		z.Memcpy(c, dst, src, memdata.PageSize)
+		z.Write(c, dst+10, []byte{0xEE}) // touch one byte: page faults in
+		c.Fence()
+		got := z.Read(c, dst, memdata.PageSize)
+		want[10] = 0xEE
+		if !bytes.Equal(got, want) {
+			t.Error("write-through-fault mismatch")
+		}
+	})
+	if z.Stats.Faults != 1 {
+		t.Fatalf("Faults = %d", z.Stats.Faults)
+	}
+}
+
+func TestChainRedirect(t *testing.T) {
+	m, z := newZ()
+	a := m.AllocPage(memdata.PageSize)
+	b := m.AllocPage(memdata.PageSize)
+	cc := m.AllocPage(memdata.PageSize)
+	m.FillRandom(a, memdata.PageSize, 4)
+	want := m.Phys.Read(a, memdata.PageSize)
+	m.Run(func(c *cpu.Core) {
+		z.Memcpy(c, b, a, memdata.PageSize)
+		z.Memcpy(c, cc, b, memdata.PageSize) // chains through b
+		got := z.Read(c, cc, memdata.PageSize)
+		if !bytes.Equal(got, want) {
+			t.Error("chained elision mismatch")
+		}
+	})
+	if z.Stats.Redirects == 0 {
+		t.Fatal("no redirect recorded for a chained copy")
+	}
+}
+
+func TestFreeDropsElisions(t *testing.T) {
+	m, z := newZ()
+	src := m.AllocPage(4 * memdata.PageSize)
+	dst := m.AllocPage(4 * memdata.PageSize)
+	m.FillRandom(src, 4*memdata.PageSize, 5)
+	m.Run(func(c *cpu.Core) {
+		z.Memcpy(c, dst, src, 4*memdata.PageSize)
+		z.Free(c, memdata.Range{Start: dst, Size: 4 * memdata.PageSize})
+	})
+	if z.Pending() != 0 {
+		t.Fatalf("%d elisions survive Free", z.Pending())
+	}
+	if z.Stats.Faults != 0 {
+		t.Fatal("Free took faults")
+	}
+}
+
+func TestCrossoverShape(t *testing.T) {
+	// Fig 10's zIO shape: elision loses to memcpy at 16 KB, wins at 1 MB.
+	copyTime := func(useZ bool, n uint64) sim.Cycle {
+		m, z := newZ()
+		src := m.AllocPage(n)
+		dst := m.AllocPage(n)
+		m.FillRandom(src, n, 6)
+		var dur sim.Cycle
+		m.Run(func(c *cpu.Core) {
+			start := c.Now()
+			if useZ {
+				z.Memcpy(c, dst, src, n)
+			} else {
+				softmc.MemcpyEager(c, dst, src, n)
+			}
+			dur = c.Now() - start
+		})
+		return dur
+	}
+	if z16, e16 := copyTime(true, 16<<10), copyTime(false, 16<<10); z16 <= e16 {
+		t.Fatalf("16KB: zIO (%d) should lose to memcpy (%d)", z16, e16)
+	}
+	if z1m, e1m := copyTime(true, 1<<20), copyTime(false, 1<<20); z1m*4 >= e1m {
+		t.Fatalf("1MB: zIO (%d) should be ≥4x faster than memcpy (%d)", z1m, e1m)
+	}
+}
+
+func TestRandomizedZIOEquivalence(t *testing.T) {
+	m, z := newZ()
+	const region = 1 << 17
+	base := m.AllocPage(region)
+	m.FillRandom(base, region, 7)
+	shadow := m.Phys.Read(base, region)
+	rnd := rand.New(rand.NewSource(7))
+	var failure bool
+	m.Run(func(c *cpu.Core) {
+		for step := 0; step < 80 && !failure; step++ {
+			switch rnd.Intn(4) {
+			case 0, 1:
+				size := uint64(1 + rnd.Intn(24000))
+				d := uint64(rnd.Intn(region - int(size)))
+				s := uint64(rnd.Intn(region - int(size)))
+				dr := memdata.Range{Start: base + memdata.Addr(d), Size: size}
+				sr := memdata.Range{Start: base + memdata.Addr(s), Size: size}
+				if dr.Overlaps(sr) {
+					continue
+				}
+				z.Memcpy(c, dr.Start, sr.Start, size)
+				copy(shadow[d:d+size], shadow[s:s+size])
+			case 2:
+				n := uint64(1 + rnd.Intn(64))
+				off := uint64(rnd.Intn(region - int(n)))
+				data := make([]byte, n)
+				rnd.Read(data)
+				z.Write(c, base+memdata.Addr(off), data)
+				c.Fence()
+				copy(shadow[off:off+n], data)
+			default:
+				n := uint64(1 + rnd.Intn(300))
+				off := uint64(rnd.Intn(region - int(n)))
+				if !bytes.Equal(z.Read(c, base+memdata.Addr(off), n), shadow[off:off+n]) {
+					failure = true
+				}
+			}
+		}
+		for off := uint64(0); off < region && !failure; off += 4096 {
+			if !bytes.Equal(z.Read(c, base+memdata.Addr(off), 4096), shadow[off:off+4096]) {
+				failure = true
+			}
+		}
+	})
+	if failure {
+		t.Fatal("zIO observational equivalence violated")
+	}
+}

@@ -1,0 +1,252 @@
+// Package mcsquare is a Go reproduction of "(MC)²: Lazy MemCopy at the
+// Memory Controller" (Kamath & Peter, ISCA 2024).
+//
+// It provides a deterministic, cycle-level simulator of a small server's
+// memory system — out-of-order cores, two-level caches with stride
+// prefetchers, DDR4-style memory controllers — extended with the paper's
+// lazy-memcpy hardware: a Copy Tracking Table and Bounce Pending Queue at
+// the memory controllers, the MCLAZY/MCFREE instructions, and the
+// memcpy_lazy software wrapper. The zIO copy-elision baseline and the
+// paper's application workloads (Protobuf, MongoDB-style inserts, MVCC
+// transactions, fork/COW, pipes) are included, and every figure of the
+// paper's evaluation can be regenerated (see cmd/mcfigures).
+//
+// The public API wraps the simulator for programmatic use:
+//
+//	sys := mcsquare.New(mcsquare.DefaultConfig())
+//	src := sys.Alloc(64 << 10)
+//	dst := sys.Alloc(64 << 10)
+//	sys.FillRandom(src, 1)
+//	sys.Run(func(t *mcsquare.Thread) {
+//	    t.MemcpyLazy(dst.Addr, src.Addr, src.Size) // returns in ~µs
+//	    data := t.Read(dst.Addr, 4096)             // lazily materialized
+//	    _ = data
+//	})
+//	fmt.Println(sys.LazyStats())
+package mcsquare
+
+import (
+	"fmt"
+
+	"mcsquare/internal/cache"
+	"mcsquare/internal/core"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/softmc"
+)
+
+// Addr is a simulated physical byte address.
+type Addr = memdata.Addr
+
+// Cycles is simulated time at the machine's 4 GHz clock.
+type Cycles = uint64
+
+// Config selects the simulated machine's shape. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	// Cores is the number of simulated CPUs (Table I: 8).
+	Cores int
+	// MemSize is the simulated physical memory in bytes.
+	MemSize uint64
+	// LazyEnabled installs the (MC)² hardware. When false the machine is
+	// the stock baseline and MemcpyLazy panics.
+	LazyEnabled bool
+	// CTTEntries, BPQEntries, FreeThreshold and ParallelFrees expose the
+	// paper's sensitivity knobs (Table I defaults: 2048, 8, 0.50, 1).
+	CTTEntries    int
+	BPQEntries    int
+	FreeThreshold float64
+	ParallelFrees int
+	// PrefetchEnabled toggles the stride prefetchers (Fig 12 ablation).
+	PrefetchEnabled bool
+	// WritebackOnBounce toggles the §III-B2 writeback (Fig 13 ablation).
+	WritebackOnBounce bool
+	// LazyThreshold is the interposer policy: Memcpy calls of at least
+	// this many bytes are redirected to memcpy_lazy (0 = never redirect).
+	LazyThreshold uint64
+}
+
+// DefaultConfig mirrors the paper's simulated configuration.
+func DefaultConfig() Config {
+	p := machine.DefaultParams()
+	return Config{
+		Cores:             p.Cores,
+		MemSize:           p.MemSize,
+		LazyEnabled:       true,
+		CTTEntries:        p.Lazy.CTTCapacity,
+		BPQEntries:        p.Lazy.BPQCapacity,
+		FreeThreshold:     p.Lazy.FreeThreshold,
+		ParallelFrees:     p.Lazy.ParallelFrees,
+		PrefetchEnabled:   true,
+		WritebackOnBounce: true,
+		LazyThreshold:     1024,
+	}
+}
+
+// Buffer is an allocated region of simulated memory.
+type Buffer struct {
+	Addr Addr
+	Size uint64
+}
+
+// Range returns the buffer as a byte range.
+func (b Buffer) Range() memdata.Range { return memdata.Range{Start: b.Addr, Size: b.Size} }
+
+// System is one simulated machine with the (MC)² extensions.
+type System struct {
+	cfg Config
+	m   *machine.Machine
+}
+
+// New builds a system from cfg.
+func New(cfg Config) *System {
+	p := machine.DefaultParams()
+	if cfg.Cores > 0 {
+		p.Cores = cfg.Cores
+		p.Cache = cache.DefaultConfig(cfg.Cores)
+	}
+	if cfg.MemSize > 0 {
+		p.MemSize = cfg.MemSize
+	}
+	p.LazyEnabled = cfg.LazyEnabled
+	if cfg.CTTEntries > 0 {
+		p.Lazy.CTTCapacity = cfg.CTTEntries
+	}
+	if cfg.BPQEntries > 0 {
+		p.Lazy.BPQCapacity = cfg.BPQEntries
+	}
+	if cfg.FreeThreshold > 0 {
+		p.Lazy.FreeThreshold = cfg.FreeThreshold
+	}
+	if cfg.ParallelFrees > 0 {
+		p.Lazy.ParallelFrees = cfg.ParallelFrees
+	}
+	p.Cache.Prefetch.Enabled = cfg.PrefetchEnabled
+	p.Lazy.WritebackOnBounce = cfg.WritebackOnBounce
+	return &System{cfg: cfg, m: machine.New(p)}
+}
+
+// Machine exposes the underlying assembly for advanced use (counters,
+// custom wiring). Most callers never need it.
+func (s *System) Machine() *machine.Machine { return s.m }
+
+// Alloc reserves a cacheline-aligned buffer.
+func (s *System) Alloc(size uint64) Buffer {
+	return Buffer{Addr: s.m.Alloc(size, memdata.LineSize), Size: size}
+}
+
+// AllocPage reserves a page-aligned buffer.
+func (s *System) AllocPage(size uint64) Buffer {
+	return Buffer{Addr: s.m.AllocPage(size), Size: size}
+}
+
+// FillRandom writes deterministic pseudorandom bytes into the buffer
+// without simulated cost (contents resident in memory, cold in caches).
+func (s *System) FillRandom(b Buffer, seed int64) {
+	s.m.FillRandom(b.Addr, b.Size, seed)
+}
+
+// Peek reads simulated memory directly (no timing, no cache effects).
+// Note that recently written data may still be cached or queued; use
+// Thread.Read inside Run for architecturally correct values.
+func (s *System) Peek(a Addr, n uint64) []byte { return s.m.Phys.Read(a, n) }
+
+// Run executes one workload function per core (fn i on core i) to
+// completion and returns the cycle at which the last one finished.
+// Workload functions run as simulated processes: every Thread method
+// advances simulated time.
+func (s *System) Run(fns ...func(t *Thread)) Cycles {
+	workers := make([]func(c *cpu.Core), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		workers[i] = func(c *cpu.Core) { fn(&Thread{sys: s, core: c}) }
+	}
+	return uint64(s.m.Run(workers...))
+}
+
+// Thread is the per-core handle workload functions receive.
+type Thread struct {
+	sys  *System
+	core *cpu.Core
+}
+
+// Core exposes the underlying simulated core.
+func (t *Thread) Core() *cpu.Core { return t.core }
+
+// Now returns the current simulated cycle.
+func (t *Thread) Now() Cycles { return uint64(t.core.Now()) }
+
+// Compute advances simulated time by non-memory work.
+func (t *Thread) Compute(cycles Cycles) { t.core.Compute(cycles) }
+
+// Read returns n bytes at a (dependent-load timing).
+func (t *Thread) Read(a Addr, n uint64) []byte { return t.core.Load(a, n) }
+
+// ReadAsync touches n bytes at a without waiting for the data.
+func (t *Thread) ReadAsync(a Addr, n uint64) { t.core.LoadAsync(a, n) }
+
+// Write stores data at a (posted).
+func (t *Thread) Write(a Addr, data []byte) { t.core.Store(a, data) }
+
+// Memcpy performs an eager copy, like libc memcpy.
+func (t *Thread) Memcpy(dst, src Addr, n uint64) { softmc.MemcpyEager(t.core, dst, src, n) }
+
+// MemcpyLazy performs the paper's lazy copy: identical semantics to
+// Memcpy, but the data moves only when (and if) it is accessed.
+func (t *Thread) MemcpyLazy(dst, src Addr, n uint64) {
+	if t.sys.m.Lazy == nil {
+		panic("mcsquare: MemcpyLazy on a system built with LazyEnabled=false")
+	}
+	softmc.MemcpyLazy(t.core, dst, src, n)
+}
+
+// MemcpyAuto applies the interposer policy: sizes at or above the
+// configured LazyThreshold go lazy, smaller ones stay eager.
+func (t *Thread) MemcpyAuto(dst, src Addr, n uint64) {
+	if t.sys.cfg.LazyEnabled && t.sys.cfg.LazyThreshold != 0 && n >= t.sys.cfg.LazyThreshold {
+		t.MemcpyLazy(dst, src, n)
+		return
+	}
+	t.Memcpy(dst, src, n)
+}
+
+// Free issues the MCFREE hint for a dead buffer.
+func (t *Thread) Free(b Buffer) {
+	if t.sys.m.Lazy == nil {
+		return
+	}
+	softmc.Free(t.core, b.Range())
+}
+
+// Fence waits until every outstanding operation of this thread completed
+// (MFENCE semantics).
+func (t *Thread) Fence() { t.core.Fence() }
+
+// LazyStats reports the (MC)² machinery's counters.
+func (s *System) LazyStats() core.EngineStats {
+	if s.m.Lazy == nil {
+		return core.EngineStats{}
+	}
+	return s.m.Lazy.Stats
+}
+
+// CacheStats reports the cache hierarchy's counters.
+func (s *System) CacheStats() cache.Stats { return s.m.Hier.Stats }
+
+// LiveCopies reports how many prospective copies the CTT currently tracks.
+func (s *System) LiveCopies() int {
+	if s.m.Lazy == nil {
+		return 0
+	}
+	return s.m.Lazy.CTT().Len()
+}
+
+// String summarizes the system.
+func (s *System) String() string {
+	mode := "baseline"
+	if s.cfg.LazyEnabled {
+		mode = fmt.Sprintf("(MC)² [CTT %d, BPQ %d]", s.cfg.CTTEntries, s.cfg.BPQEntries)
+	}
+	return fmt.Sprintf("mcsquare.System{%d cores, %d MB, %s}", s.cfg.Cores, s.cfg.MemSize>>20, mode)
+}

@@ -1,0 +1,138 @@
+package mcsquare
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := New(DefaultConfig())
+	src := sys.Alloc(64 << 10)
+	dst := sys.Alloc(64 << 10)
+	sys.FillRandom(src, 1)
+	want := sys.Peek(src.Addr, 4096)
+
+	var got []byte
+	sys.Run(func(th *Thread) {
+		th.MemcpyLazy(dst.Addr, src.Addr, src.Size)
+		got = th.Read(dst.Addr, 4096)
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatal("lazy copy returned wrong data")
+	}
+	if sys.LazyStats().LazyOps == 0 {
+		t.Fatal("no lazy operations recorded")
+	}
+}
+
+func TestMemcpyAutoThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LazyThreshold = 1024
+	sys := New(cfg)
+	src := sys.Alloc(8 << 10)
+	dst := sys.Alloc(8 << 10)
+	sys.FillRandom(src, 2)
+	sys.Run(func(th *Thread) {
+		th.MemcpyAuto(dst.Addr, src.Addr, 512) // below threshold: eager
+	})
+	if sys.LazyStats().LazyOps != 0 {
+		t.Fatal("sub-threshold copy went lazy")
+	}
+	sys.Run(func(th *Thread) {
+		th.MemcpyAuto(dst.Addr+4096, src.Addr+4096, 4096)
+	})
+	if sys.LazyStats().LazyOps == 0 {
+		t.Fatal("above-threshold copy stayed eager")
+	}
+}
+
+func TestBaselineSystemPanicsOnLazy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LazyEnabled = false
+	sys := New(cfg)
+	b := sys.Alloc(4096)
+	panicked := false
+	sys.Run(func(th *Thread) {
+		// Recover on the workload goroutine itself: a panic escaping it
+		// would kill the process, and t.Fatal here would strand the engine.
+		defer func() { panicked = recover() != nil }()
+		th.MemcpyLazy(b.Addr, b.Addr+2048, 1024)
+	})
+	if !panicked {
+		t.Fatal("MemcpyLazy on baseline did not panic")
+	}
+}
+
+func TestLazyFasterThanEagerViaAPI(t *testing.T) {
+	run := func(lazy bool) Cycles {
+		sys := New(DefaultConfig())
+		src := sys.AllocPage(128 << 10)
+		dst := sys.AllocPage(128 << 10)
+		sys.FillRandom(src, 3)
+		return sys.Run(func(th *Thread) {
+			if lazy {
+				th.MemcpyLazy(dst.Addr, src.Addr, src.Size)
+			} else {
+				th.Memcpy(dst.Addr, src.Addr, src.Size)
+				th.Fence()
+			}
+		})
+	}
+	if l, e := run(true), run(false); l*2 >= e {
+		t.Fatalf("lazy %d cycles vs eager %d: expected ≥2x", l, e)
+	}
+}
+
+func TestFreeDropsTracking(t *testing.T) {
+	sys := New(DefaultConfig())
+	src := sys.AllocPage(16 << 10)
+	dst := sys.AllocPage(16 << 10)
+	sys.FillRandom(src, 4)
+	sys.Run(func(th *Thread) {
+		th.MemcpyLazy(dst.Addr, src.Addr, src.Size)
+		if sys.LiveCopies() == 0 {
+			t.Error("no live copies after MemcpyLazy")
+		}
+		th.Free(dst)
+	})
+	if sys.LiveCopies() != 0 {
+		t.Fatalf("%d live copies after Free", sys.LiveCopies())
+	}
+}
+
+func TestMultiThreadRun(t *testing.T) {
+	sys := New(DefaultConfig())
+	bufs := make([]Buffer, 4)
+	for i := range bufs {
+		bufs[i] = sys.AllocPage(8 << 10)
+		sys.FillRandom(bufs[i], int64(i))
+	}
+	dsts := make([]Buffer, 4)
+	for i := range dsts {
+		dsts[i] = sys.AllocPage(8 << 10)
+	}
+	ok := make([]bool, 4)
+	fns := make([]func(*Thread), 4)
+	for i := range fns {
+		i := i
+		fns[i] = func(th *Thread) {
+			th.MemcpyLazy(dsts[i].Addr, bufs[i].Addr, bufs[i].Size)
+			got := th.Read(dsts[i].Addr, 64)
+			ok[i] = bytes.Equal(got, sys.Peek(bufs[i].Addr, 64))
+		}
+	}
+	sys.Run(fns...)
+	for i, v := range ok {
+		if !v {
+			t.Fatalf("thread %d read wrong data", i)
+		}
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s := New(DefaultConfig()).String()
+	if !strings.Contains(s, "(MC)²") || !strings.Contains(s, "8 cores") {
+		t.Fatalf("String() = %q", s)
+	}
+}
