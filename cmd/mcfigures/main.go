@@ -2,12 +2,19 @@
 // tab-separated text, one file per figure (like the artifact's
 // results/figureX.txt) or to stdout.
 //
+// Figures decompose into independent deterministic jobs (one per sweep
+// datapoint where possible) that run on a worker pool; results are merged
+// in submission order, so the output is byte-identical for every -jobs
+// value, including the fully serial -jobs 1.
+//
 // Usage:
 //
 //	mcfigures                      # every figure, to stdout
 //	mcfigures -fig 14              # one figure
+//	mcfigures -fig 14,table1       # a comma-separated subset
 //	mcfigures -quick               # reduced sizes/ops (minutes, same shapes)
 //	mcfigures -out results/        # write results/figureX.txt files
+//	mcfigures -jobs 8              # worker pool size (default: NumCPU)
 //	mcfigures -list                # list available figures
 package main
 
@@ -16,16 +23,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"mcsquare/internal/figures"
+	"mcsquare/internal/runner"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
 )
+
+// figurePlan tracks one figure's slice of the global job list.
+type figurePlan struct {
+	gen   figures.Generator
+	set   figures.JobSet
+	first int // index of the figure's first job in the global list
+}
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure id to run (e.g. 10, 16, table1); empty = all")
+		fig   = flag.String("fig", "", "comma-separated figure ids (e.g. 10,16,table1); empty = all")
 		quick = flag.Bool("quick", false, "reduced problem sizes (same shapes, much faster)")
 		out   = flag.String("out", "", "directory for figureX.txt files (default: stdout)")
+		jobs  = flag.Int("jobs", runtime.NumCPU(), "worker pool size; 1 reproduces a serial run")
 		list  = flag.Bool("list", false, "list available figures and exit")
 	)
 	flag.Parse()
@@ -39,12 +59,15 @@ func main() {
 
 	gens := figures.All()
 	if *fig != "" {
-		g, ok := figures.ByID(*fig)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "mcfigures: unknown figure %q (use -list)\n", *fig)
-			os.Exit(1)
+		gens = gens[:0]
+		for _, id := range strings.Split(*fig, ",") {
+			g, ok := figures.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mcfigures: unknown figure %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			gens = append(gens, g)
 		}
-		gens = []figures.Generator{g}
 	}
 
 	opt := figures.Options{Quick: *quick}
@@ -55,34 +78,99 @@ func main() {
 		}
 	}
 
+	// Decompose every figure into jobs up front, then run the whole batch
+	// on one pool: datapoints of different figures overlap freely.
+	var (
+		plans []figurePlan
+		all   []runner.Job
+	)
 	for _, g := range gens {
-		start := time.Now()
-		tables := g.Run(opt)
-		elapsed := time.Since(start).Round(time.Millisecond)
-		if *out == "" {
-			for _, tb := range tables {
-				fmt.Println(tb.String())
+		set := g.Jobs(opt)
+		plans = append(plans, figurePlan{gen: g, set: set, first: len(all)})
+		all = append(all, set.Jobs...)
+	}
+
+	start := time.Now()
+	results := runner.Run(runner.Config{
+		Workers:  *jobs,
+		Options:  runner.Options{Quick: *quick},
+		Progress: os.Stderr,
+	}, all)
+
+	// Assemble and emit figures in submission order. Failures (a panicking
+	// job, an unwritable file) are collected, not fatal: the remaining
+	// figures still complete and the process exits non-zero at the end.
+	var errs []error
+	for _, pl := range plans {
+		parts := make([][]*stats.Table, len(pl.set.Jobs))
+		var wall time.Duration
+		failed := false
+		for i := range pl.set.Jobs {
+			r := results[pl.first+i]
+			wall += r.Metrics.Wall
+			if r.Err != nil {
+				errs = append(errs, r.Err)
+				failed = true
 			}
-			fmt.Fprintf(os.Stderr, "# figure %s done in %s\n\n", g.ID, elapsed)
+			parts[i] = r.Tables
+		}
+		if failed {
+			fmt.Fprintf(os.Stderr, "mcfigures: figure %s failed; no output written\n", pl.gen.ID)
 			continue
 		}
-		name := filepath.Join(*out, "figure"+g.ID+".txt")
-		f, err := os.Create(name)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
-			os.Exit(1)
+		if err := emit(pl, parts, *out, wall); err != nil {
+			errs = append(errs, err)
 		}
-		for _, tb := range tables {
-			if _, err := tb.WriteTo(f); err != nil {
-				fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintln(f)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", name, elapsed)
 	}
+
+	// Read the process-wide counter rather than summing per-job deltas:
+	// with concurrent workers a job's delta includes its neighbors' cycles,
+	// so the sum overcounts (the global counter is always exact).
+	cycles := sim.SimulatedCycles()
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+	fmt.Fprintf(os.Stderr, "# %d figure(s), %d job(s) on %d worker(s): %s wall, %.0f Mcycles simulated\n",
+		len(plans), len(all), workers, time.Since(start).Round(time.Millisecond), float64(cycles)/1e6)
+
+	if len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// emit merges one figure's parts and writes it to stdout or its file.
+func emit(pl figurePlan, parts [][]*stats.Table, out string, wall time.Duration) error {
+	tables := pl.set.Merge(parts)
+	elapsed := wall.Round(time.Millisecond)
+	if out == "" {
+		for _, tb := range tables {
+			fmt.Println(tb.String())
+		}
+		fmt.Fprintf(os.Stderr, "# figure %s done in %s\n\n", pl.gen.ID, elapsed)
+		return nil
+	}
+	name := filepath.Join(out, "figure"+pl.gen.ID+".txt")
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
+		if _, err := tb.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(f)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", name, elapsed)
+	return nil
 }

@@ -595,7 +595,10 @@ func (e *Engine) freeTarget() int {
 // (used when an MCLAZY stalled on a full table).
 func (e *Engine) maybeStartFree(force bool) {
 	limit := e.p.ParallelFrees * len(e.mcs)
-	for e.freeWorkers < limit && (e.ctt.Len() >= e.freeTarget() || (force && e.freeWorkers == 0 && e.ctt.Len() > 0)) {
+	// pickFreeEntry guards against a livelock: with every live entry already
+	// claimed by a worker (tiny table, high parallelism), starting another
+	// worker would have it exit immediately and the loop spin forever.
+	for e.freeWorkers < limit && e.pickFreeEntry() != nil && (e.ctt.Len() >= e.freeTarget() || (force && e.freeWorkers == 0 && e.ctt.Len() > 0)) {
 		e.freeWorkers++
 		e.freeWorker()
 		force = false

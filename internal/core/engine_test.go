@@ -424,51 +424,59 @@ func TestMCLazyStallsOnHeldLines(t *testing.T) {
 	}
 }
 
+// genEquivalenceProgram rolls a random op program: lazy copies, line
+// writes, reads, and occasional frees over colliding buffers with arbitrary
+// source alignment. The program is a concrete artifact — if its replay
+// diverges from the oracle, it is persisted verbatim to the regression
+// corpus (see corpus_test.go).
+func genEquivalenceProgram(name string, p Params, seed int64, region uint64, steps int) *corpusProgram {
+	prog := &corpusProgram{name: name, params: p, seed: seed, region: region}
+	rnd := rand.New(rand.NewSource(seed))
+	randLine := func() memdata.Addr {
+		return memdata.Addr(rnd.Intn(int(region)/line)) * line
+	}
+	for step := 0; step < steps; step++ {
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3: // lazy copy
+			size := uint64(1+rnd.Intn(8)) * line
+			dst := memdata.Range{Start: randLine(), Size: size}
+			src := memdata.Addr(rnd.Intn(int(region) - int(size)))
+			if dst.Overlaps(memdata.Range{Start: src, Size: size}) {
+				continue // memcpy forbids overlap
+			}
+			prog.ops = append(prog.ops, corpusOp{kind: "copy", a: dst.Start, b: src, size: size})
+		case 4, 5: // write a line
+			prog.ops = append(prog.ops, corpusOp{kind: "write", a: randLine(), fill: byte(rnd.Intn(256))})
+		case 6: // rarely, free a small range
+			if rnd.Intn(4) == 0 {
+				size := uint64(1+rnd.Intn(4)) * line
+				a := randLine()
+				if uint64(a)+size <= region {
+					prog.ops = append(prog.ops, corpusOp{kind: "free", a: a, size: size})
+					continue
+				}
+			}
+			prog.ops = append(prog.ops, corpusOp{kind: "read", a: randLine()})
+		default: // read and verify
+			prog.ops = append(prog.ops, corpusOp{kind: "read", a: randLine()})
+		}
+	}
+	return prog
+}
+
 // TestRandomizedObservationalEquivalence is the package's big hammer: a
-// random mix of lazy copies, writes, and reads over colliding buffers with
-// arbitrary source alignment must be byte-identical to eager copies.
+// random mix of lazy copies, writes, reads, and frees must be
+// byte-identical to eager copies. Failures persist their op sequence to
+// testdata/corpus/ for permanent regression replay.
 func TestRandomizedObservationalEquivalence(t *testing.T) {
 	seeds := []int64{101, 202, 303}
 	for _, seed := range seeds {
 		p := DefaultParams()
 		p.CTTCapacity = 64 // small: exercise freeing under load
-		r := newRig(t, p)
-		r.fill(seed)
-		rnd := rand.New(rand.NewSource(seed))
-		const region = 1 << 17
-		randLine := func() memdata.Addr {
-			return memdata.Addr(rnd.Intn(region/line)) * line
-		}
-		r.run(func() {
-			for step := 0; step < 400; step++ {
-				switch rnd.Intn(10) {
-				case 0, 1, 2, 3: // lazy copy
-					size := uint64(1+rnd.Intn(8)) * line
-					dst := memdata.Range{Start: randLine(), Size: size}
-					src := memdata.Addr(rnd.Intn(region - int(size)))
-					if dst.Overlaps(memdata.Range{Start: src, Size: size}) {
-						continue // memcpy forbids overlap
-					}
-					r.lazyCopy(dst, src)
-				case 4, 5: // write a line
-					a := randLine()
-					d := make([]byte, line)
-					rnd.Read(d)
-					r.write(a, d)
-				default: // read and verify
-					r.check(randLine(), "random read")
-				}
-			}
-			// Final sweep: every line in the region must match the shadow.
-			for a := memdata.Addr(0); a < region; a += line {
-				r.check(a, "final sweep")
-			}
-		})
-		if err := r.lazy.CTT().CheckInvariants(); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if !r.lazy.Idle() {
-			t.Fatalf("seed %d: engine not idle", seed)
+		prog := genEquivalenceProgram(fmt.Sprintf("rand-seed%d", seed), p, seed, 1<<17, 400)
+		if _, failure := runProgram(t, prog); failure != "" {
+			persistFailure(t, prog)
+			t.Fatalf("seed %d diverged: %s", seed, failure)
 		}
 	}
 }
@@ -501,50 +509,26 @@ func TestWritebackRejectionKeepsEntryCorrect(t *testing.T) {
 
 // TestEquivalenceAcrossConfigurations re-runs the randomized equivalence
 // fuzz under adversarial parameter corners: tiny CTT, single-slot BPQ, no
-// writeback, no merging.
+// writeback, no merging. Failures persist to testdata/corpus/ like the
+// main fuzzer's.
 func TestEquivalenceAcrossConfigurations(t *testing.T) {
-	configs := []func(*Params){
-		func(p *Params) { p.CTTCapacity = 8 },
-		func(p *Params) { p.BPQCapacity = 1 },
-		func(p *Params) { p.WritebackOnBounce = false },
-		func(p *Params) { p.DisableMerge = true },
-		func(p *Params) { p.CTTCapacity = 8; p.BPQCapacity = 1; p.DisableMerge = true },
+	configs := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tiny-ctt", func(p *Params) { p.CTTCapacity = 8 }},
+		{"one-bpq", func(p *Params) { p.BPQCapacity = 1 }},
+		{"no-writeback", func(p *Params) { p.WritebackOnBounce = false }},
+		{"no-merge", func(p *Params) { p.DisableMerge = true }},
+		{"combined", func(p *Params) { p.CTTCapacity = 8; p.BPQCapacity = 1; p.DisableMerge = true }},
 	}
-	for ci, mutate := range configs {
+	for ci, cfg := range configs {
 		p := DefaultParams()
-		mutate(&p)
-		r := newRig(t, p)
-		r.fill(int64(500 + ci))
-		rnd := rand.New(rand.NewSource(int64(500 + ci)))
-		const region = 1 << 16
-		randLine := func() memdata.Addr {
-			return memdata.Addr(rnd.Intn(region/line)) * line
-		}
-		r.run(func() {
-			for step := 0; step < 150; step++ {
-				switch rnd.Intn(8) {
-				case 0, 1, 2:
-					size := uint64(1+rnd.Intn(6)) * line
-					dst := memdata.Range{Start: randLine(), Size: size}
-					src := memdata.Addr(rnd.Intn(region - int(size)))
-					if dst.Overlaps(memdata.Range{Start: src, Size: size}) {
-						continue
-					}
-					r.lazyCopy(dst, src)
-				case 3, 4:
-					d := make([]byte, line)
-					rnd.Read(d)
-					r.write(randLine(), d)
-				default:
-					r.check(randLine(), "cfg read")
-				}
-			}
-			for a := memdata.Addr(0); a < region; a += line {
-				r.check(a, "cfg sweep")
-			}
-		})
-		if err := r.lazy.CTT().CheckInvariants(); err != nil {
-			t.Fatalf("config %d: %v", ci, err)
+		cfg.mutate(&p)
+		prog := genEquivalenceProgram("cfg-"+cfg.name, p, int64(500+ci), 1<<16, 150)
+		if _, failure := runProgram(t, prog); failure != "" {
+			persistFailure(t, prog)
+			t.Fatalf("config %s diverged: %s", cfg.name, failure)
 		}
 	}
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mcsquare/internal/memdata"
+)
+
+// Failure-injection regression tests (DESIGN.md §7): each drives one bounded
+// resource well past its limit — a CTT overflow storm, a saturated BPQ, a
+// write-path that rejects every bounce writeback — and asserts both the
+// stall/reject accounting and observational equivalence against the shadow
+// eager-copy oracle. The point is that overload degrades into stalls and
+// retries, never into wrong data.
+
+// sweepRegion checks every line of [start, end) against the shadow.
+func sweepRegion(r *rig, start, end memdata.Addr, what string) {
+	for a := start; a < end; a += line {
+		r.check(a, what)
+	}
+}
+
+// TestFailureCTTOverflowStorm: a 4-entry CTT receives 40 unmergeable copies
+// interleaved with source writes and demand reads. MCLAZY must stall (and
+// account the stalled cycles), asynchronous freeing must run, and every
+// byte must still match the oracle.
+func TestFailureCTTOverflowStorm(t *testing.T) {
+	p := DefaultParams()
+	p.CTTCapacity = 4
+	p.FreeThreshold = 0.5
+	p.ParallelFrees = 2
+	r := newRig(t, p)
+	r.fill(31)
+	const n = 40
+	dstAt := func(i uint64) memdata.Range { return rng(0x10000+i*0x1000, 2*line) }
+	srcAt := func(i uint64) memdata.Addr { return memdata.Addr(0x80000 + i*0x1000) }
+	r.run(func() {
+		for i := uint64(0); i < n; i++ {
+			r.lazyCopy(dstAt(i), srcAt(i))
+			if i%4 == 1 {
+				// Dirty an earlier source: forces a BPQ-held lazy copy while
+				// the table is already saturated.
+				a := srcAt(i - 1)
+				d := bytes.Repeat([]byte{byte(i)}, line)
+				r.write(a, d)
+			}
+			if i%3 == 2 {
+				r.check(dstAt(i-1).Start, "read under storm")
+			}
+		}
+		sweepRegion(r, 0x10000, memdata.Addr(0x10000+n*0x1000), "dest sweep")
+		sweepRegion(r, 0x80000, memdata.Addr(0x80000+n*0x1000), "source sweep")
+	})
+	s := r.lazy.Stats
+	if s.LazyStallsFull == 0 {
+		t.Fatal("40 copies through a 4-entry CTT never stalled on capacity")
+	}
+	if s.LazyStallCycles == 0 {
+		t.Fatal("stalls recorded but no stall cycles accounted")
+	}
+	if s.Frees == 0 {
+		t.Fatal("async freeing never relieved the full CTT")
+	}
+	if s.LazyOps != n {
+		t.Fatalf("LazyOps = %d, want %d (no copy may be dropped)", s.LazyOps, n)
+	}
+	if err := r.lazy.CTT().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.lazy.Idle() {
+		t.Fatal("engine not idle after the storm drained")
+	}
+}
+
+// TestFailureBPQSaturation: a single-slot BPQ takes a burst of 32 posted
+// source writes against one big tracked copy. Writes must queue (stall),
+// every held line must still trigger its lazy copy, and both the as-of-copy
+// destination and the post-write source must match the oracle.
+func TestFailureBPQSaturation(t *testing.T) {
+	p := DefaultParams()
+	p.BPQCapacity = 1
+	r := newRig(t, p)
+	r.fill(32)
+	const lines = 32
+	r.run(func() {
+		dst := rng(0x10000, lines*line)
+		r.lazyCopy(dst, 0x80000)
+		released := 0
+		for i := uint64(0); i < lines; i++ {
+			a := memdata.Addr(0x80000 + i*line)
+			d := bytes.Repeat([]byte{0xC0 | byte(i)}, line)
+			r.shadow.WriteLine(a, d)
+			r.mc(a).WriteLine(a, d, func() { released++ })
+		}
+		for released < lines {
+			r.proc.Wait(1000)
+		}
+		sweepRegion(r, 0x10000, 0x10000+lines*line, "dest as-of-copy")
+		sweepRegion(r, 0x80000, 0x80000+lines*line, "source new data")
+	})
+	s := r.lazy.Stats
+	if s.BPQStallsFull == 0 {
+		t.Fatal("32 posted writes through a 1-slot BPQ never stalled")
+	}
+	if s.BPQHolds == 0 || s.BPQCopies == 0 {
+		t.Fatalf("BPQ machinery idle under saturation: %+v", s)
+	}
+	if err := r.lazy.CTT().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.lazy.Idle() {
+		t.Fatal("engine not idle after BPQ drained")
+	}
+}
+
+// TestFailureWPQWriteRejection: with the WPQ-pressure rule pinned to reject
+// every bounce writeback (the extreme of the paper's 75% threshold), bounces
+// keep servicing reads correctly, entries stay live, and no writeback ever
+// lands.
+func TestFailureWPQWriteRejection(t *testing.T) {
+	p := DefaultParams()
+	p.WPQRejectFrac = 0
+	r := newRig(t, p)
+	r.fill(33)
+	const lines = 8
+	r.run(func() {
+		dst := rng(0x10000, lines*line)
+		r.lazyCopy(dst, 0x80000)
+		// Two read passes: the first's writebacks are all rejected, so the
+		// second must bounce again — and still be correct.
+		for pass := 0; pass < 2; pass++ {
+			sweepRegion(r, 0x10000, 0x10000+lines*line, "bounce pass")
+		}
+	})
+	s := r.lazy.Stats
+	if s.WritebackRejects == 0 {
+		t.Fatal("no writebacks rejected despite WPQRejectFrac=0")
+	}
+	if s.BounceWritebacks != 0 {
+		t.Fatalf("BounceWritebacks = %d, want 0 (every writeback must be refused)", s.BounceWritebacks)
+	}
+	if s.Bounces < 2*lines {
+		t.Fatalf("Bounces = %d, want >= %d (rejected lines must bounce again)", s.Bounces, 2*lines)
+	}
+	if r.lazy.CTT().Len() == 0 {
+		t.Fatal("entries vanished although no writeback ever trimmed them")
+	}
+	if err := r.lazy.CTT().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mcsquare/internal/cpu"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/memdata"
+	"mcsquare/internal/runner"
 	"mcsquare/internal/softmc"
 	"mcsquare/internal/stats"
 	"mcsquare/internal/workloads/kvsnap"
@@ -16,102 +17,124 @@ import (
 
 func init() {
 	extra = append(extra,
-		Generator{"ablations", "design-choice ablations beyond the paper's figures", Ablations},
-		Generator{"pollution", "cache pollution with eager vs lazy copies (§III-F)", Pollution},
+		Generator{"ablations", "design-choice ablations beyond the paper's figures", Ablations, ablationsJobs},
+		Generator{"pollution", "cache pollution with eager vs lazy copies (§III-F)", Pollution, nil},
 	)
 }
 
-// Ablations quantifies design choices the paper motivates but does not
-// sweep directly: CTT adjacency merging, the bounce writeback, the
-// interposer threshold, and the kernel's ranged flush versus the user-space
-// wrapper's per-line CLWBs for huge-page copies.
-func Ablations(o Options) []*stats.Table {
-	out := []*stats.Table{}
-
-	// 1. Merge ablation on the paper's motivating pattern (§III-A1:
-	// "element-by-element copies of an array"): per-element lazy copies of
-	// contiguous cachelines, on a CTT smaller than the element count.
-	merge := stats.NewTable("Ablation: CTT adjacency merging (element-wise array copy, 512-entry CTT)",
+// ablMergeVariant runs the CTT adjacency-merging ablation for one variant
+// (§III-A1: per-element lazy copies of contiguous cachelines, on a CTT
+// smaller than the element count) and returns its one-row table.
+func ablMergeVariant(disable bool) *stats.Table {
+	tb := stats.NewTable("Ablation: CTT adjacency merging (element-wise array copy, 512-entry CTT)",
 		"variant", "cycles", "ctt_highwater", "entries_created")
-	for _, disable := range []bool{false, true} {
-		disable := disable
-		p := machine.DefaultParams()
-		p.Lazy.CTTCapacity = 512
-		p.Lazy.DisableMerge = disable
-		m := machine.New(p)
-		const elems = 2048 // 2048 x 64B elements = 128 KB array
-		src := m.AllocPage(elems * memdata.LineSize)
-		dst := m.AllocPage(elems * memdata.LineSize)
-		m.FillRandom(src, elems*memdata.LineSize, 1)
-		var dur uint64
-		m.Run(func(c *cpu.Core) {
-			start := c.Now()
-			for i := 0; i < elems; i++ {
-				off := memdata.Addr(i * memdata.LineSize)
-				c.MCLazy(memdata.Range{Start: dst + off, Size: memdata.LineSize}, src+off)
-			}
-			c.Fence()
-			dur = uint64(c.Now() - start)
-		})
-		name := "merge_on"
-		if disable {
-			name = "merge_off"
+	p := machine.DefaultParams()
+	p.Lazy.CTTCapacity = 512
+	p.Lazy.DisableMerge = disable
+	m := machine.New(p)
+	const elems = 2048 // 2048 x 64B elements = 128 KB array
+	src := m.AllocPage(elems * memdata.LineSize)
+	dst := m.AllocPage(elems * memdata.LineSize)
+	m.FillRandom(src, elems*memdata.LineSize, 1)
+	var dur uint64
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
+		for i := 0; i < elems; i++ {
+			off := memdata.Addr(i * memdata.LineSize)
+			c.MCLazy(memdata.Range{Start: dst + off, Size: memdata.LineSize}, src+off)
 		}
-		merge.AddRow(name, dur, m.Lazy.CTT().Stats.HighWater, m.Lazy.CTT().Stats.Pieces)
+		c.Fence()
+		dur = uint64(c.Now() - start)
+	})
+	name := "merge_on"
+	if disable {
+		name = "merge_off"
 	}
-	out = append(out, merge)
+	tb.AddRow(name, dur, m.Lazy.CTT().Stats.HighWater, m.Lazy.CTT().Stats.Pieces)
+	return tb
+}
 
-	// 2. Interposer threshold sweep: where should copy_interpose.so draw
-	// the lazy/eager line? (The paper uses 1 KB for Protobuf.)
-	thr := stats.NewTable("Ablation: interposer threshold (Protobuf runtime, ms)",
+// ablThresholdPoint runs one interposer-threshold point: where should
+// copy_interpose.so draw the lazy/eager line? (The paper uses 1 KB for
+// Protobuf.)
+func ablThresholdPoint(o Options, th uint64) *stats.Table {
+	tb := stats.NewTable("Ablation: interposer threshold (Protobuf runtime, ms)",
 		"threshold", "runtime_ms")
-	for _, th := range []uint64{256, 512, 1024, 2048, 4096} {
-		res := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: th}))
-		thr.AddRow(th, stats.CyclesToMs(uint64(res.Cycles)))
-	}
-	out = append(out, thr)
+	res := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: th}))
+	tb.AddRow(th, stats.CyclesToMs(uint64(res.Cycles)))
+	return tb
+}
 
-	// 3. Kernel ranged flush vs wrapper CLWBs for a huge-page lazy copy
-	// (§V-A1 suggests ranged writeback as future work; the simulated kernel
-	// already uses it via MCLAZY's sweep).
-	flush := stats.NewTable("Ablation: 2MB lazy copy, instruction sweep vs per-line CLWB wrapper",
+// ablFlushVariant runs one side of the kernel ranged flush vs wrapper CLWB
+// comparison for a huge-page lazy copy (§V-A1 suggests ranged writeback as
+// future work; the simulated kernel already uses it via MCLAZY's sweep).
+func ablFlushVariant(o Options, wrapper bool) *stats.Table {
+	tb := stats.NewTable("Ablation: 2MB lazy copy, instruction sweep vs per-line CLWB wrapper",
 		"variant", "cycles")
 	size := uint64(memdata.HugePageSize)
 	if o.Quick {
 		size = 256 << 10
 	}
-	for _, wrapper := range []bool{false, true} {
-		wrapper := wrapper
-		p := machine.DefaultParams()
-		p.MemSize = 512 << 20
-		m := machine.New(p)
-		src := m.Alloc(size, size)
-		dst := m.Alloc(size, size)
-		m.FillRandom(src, size, 1)
-		var dur uint64
-		m.Run(func(c *cpu.Core) {
-			start := c.Now()
-			if wrapper {
-				softmc.MemcpyLazy(c, dst, src, size) // per-line CLWBs
-			} else {
-				// The kernel path: one MCLAZY per 2 MB-bounded chunk; the
-				// instruction's ranged sweep handles writeback.
-				for off := uint64(0); off < size; off += memdata.HugePageSize {
-					n := min(uint64(memdata.HugePageSize), size-off)
-					c.MCLazy(memdata.Range{Start: dst + memdata.Addr(off), Size: n}, src+memdata.Addr(off))
-				}
-				c.Fence()
-			}
-			dur = uint64(c.Now() - start)
-		})
-		name := "instruction_sweep"
+	p := machine.DefaultParams()
+	p.MemSize = 512 << 20
+	m := machine.New(p)
+	src := m.Alloc(size, size)
+	dst := m.Alloc(size, size)
+	m.FillRandom(src, size, 1)
+	var dur uint64
+	m.Run(func(c *cpu.Core) {
+		start := c.Now()
 		if wrapper {
-			name = "wrapper_clwb_per_line"
+			softmc.MemcpyLazy(c, dst, src, size) // per-line CLWBs
+		} else {
+			// The kernel path: one MCLAZY per 2 MB-bounded chunk; the
+			// instruction's ranged sweep handles writeback.
+			for off := uint64(0); off < size; off += memdata.HugePageSize {
+				n := min(uint64(memdata.HugePageSize), size-off)
+				c.MCLazy(memdata.Range{Start: dst + memdata.Addr(off), Size: n}, src+memdata.Addr(off))
+			}
+			c.Fence()
 		}
-		flush.AddRow(name, dur)
+		dur = uint64(c.Now() - start)
+	})
+	name := "instruction_sweep"
+	if wrapper {
+		name = "wrapper_clwb_per_line"
 	}
-	out = append(out, flush)
-	return out
+	tb.AddRow(name, dur)
+	return tb
+}
+
+// ablThresholds is the interposer-threshold sweep axis.
+func ablThresholds() []uint64 { return []uint64{256, 512, 1024, 2048, 4096} }
+
+// Ablations quantifies design choices the paper motivates but does not
+// sweep directly: CTT adjacency merging, the bounce writeback, the
+// interposer threshold, and the kernel's ranged flush versus the user-space
+// wrapper's per-line CLWBs for huge-page copies. Every variant is an
+// independent machine, enumerated as jobs by ablationsJobs.
+func Ablations(o Options) []*stats.Table { return runJobSet(o, ablationsJobs(o)) }
+
+func ablationsJobs(o Options) JobSet {
+	jobs := []runner.Job{
+		job("ablations/merge_on", func() []*stats.Table { return tables(ablMergeVariant(false)) }),
+		job("ablations/merge_off", func() []*stats.Table { return tables(ablMergeVariant(true)) }),
+	}
+	for _, th := range ablThresholds() {
+		th := th
+		jobs = append(jobs, job(fmt.Sprintf("ablations/thr%d", th), func() []*stats.Table {
+			return tables(ablThresholdPoint(o, th))
+		}))
+	}
+	jobs = append(jobs,
+		job("ablations/flush_sweep", func() []*stats.Table { return tables(ablFlushVariant(o, false)) }),
+		job("ablations/flush_clwb", func() []*stats.Table { return tables(ablFlushVariant(o, true)) }),
+	)
+	nThr := len(ablThresholds())
+	return JobSet{
+		Jobs:  jobs,
+		Merge: func(parts [][]*stats.Table) []*stats.Table { return concatGroups(parts, 2, nThr, 2) },
+	}
 }
 
 // Pollution measures the §III-F claim that lazy copies avoid cache
@@ -164,7 +187,7 @@ func Pollution(o Options) []*stats.Table {
 
 func init() {
 	extra = append(extra,
-		Generator{"scaling", "memory-system scaling: channels and interconnect bandwidth", Scaling})
+		Generator{"scaling", "memory-system scaling: channels and interconnect bandwidth", Scaling, nil})
 }
 
 // Scaling sweeps the memory-system resources the paper's §V-C scalability
@@ -202,7 +225,7 @@ func Scaling(o Options) []*stats.Table {
 
 func init() {
 	extra = append(extra,
-		Generator{"kvsnap", "KV store write-latency tail under fork snapshots (Redis scenario)", KVSnap})
+		Generator{"kvsnap", "KV store write-latency tail under fork snapshots (Redis scenario)", KVSnap, nil})
 }
 
 // KVSnap runs the Redis-style snapshotting store: write latency percentiles

@@ -1,0 +1,103 @@
+package figures
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mcsquare/internal/runner"
+	"mcsquare/internal/stats"
+)
+
+// renderFigure decomposes a generator, runs its jobs on the given worker
+// count, merges, and renders the result — exactly the cmd/mcfigures path.
+func renderFigure(t *testing.T, g Generator, workers int) string {
+	t.Helper()
+	set := g.Jobs(Options{Quick: true})
+	results := runner.Run(runner.Config{
+		Workers: workers,
+		Options: runner.Options{Quick: true},
+	}, set.Jobs)
+	parts := make([][]*stats.Table, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("figure %s job %s failed: %v", g.ID, r.ID, r.Err)
+		}
+		parts[i] = r.Tables
+	}
+	var b strings.Builder
+	for _, tb := range set.Merge(parts) {
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the -jobs guarantee: for every decomposed
+// generator, running its jobs on one worker and on a saturated pool must
+// merge to byte-identical output. Quick scale; the slowest sweeps are
+// opt-in via MCFIG_DETERMINISM_ALL=1 (and -short trims further) to keep
+// -race runs affordable.
+func TestParallelDeterminism(t *testing.T) {
+	ids := []string{"2", "10", "20", "22", "ablations"}
+	if testing.Short() || raceEnabled {
+		// Race builds and -short keep the cheapest multi-job figures: the
+		// guarantee is about merge order, which two sweeps already cover.
+		ids = []string{"2", "20"}
+	}
+	if os.Getenv("MCFIG_DETERMINISM_ALL") != "" {
+		ids = append(ids, "16", "17")
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4 // exercise real concurrency even on small CI boxes
+	}
+	for _, id := range ids {
+		id := id
+		t.Run("fig"+id, func(t *testing.T) {
+			g, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown figure %s", id)
+			}
+			serial := renderFigure(t, g, 1)
+			parallel := renderFigure(t, g, workers)
+			if serial != parallel {
+				t.Fatalf("figure %s output differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, workers, serial, parallel)
+			}
+			// And both must equal the plain serial Run (the generators'
+			// documented contract: Run == runJobSet of the same JobSet).
+			var b strings.Builder
+			for _, tb := range g.Run(Options{Quick: true}) {
+				b.WriteString(tb.String())
+				b.WriteByte('\n')
+			}
+			if direct := b.String(); direct != serial {
+				t.Fatalf("figure %s Run() differs from merged jobs:\n--- Run ---\n%s\n--- jobs ---\n%s",
+					id, direct, serial)
+			}
+		})
+	}
+}
+
+// TestUndecomposedGeneratorsSingleJob: generators without a decomposition
+// wrap Run as one job, so the whole figure set is runnable on the pool.
+func TestUndecomposedGeneratorsSingleJob(t *testing.T) {
+	g, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	set := g.Jobs(Options{Quick: true})
+	if len(set.Jobs) != 1 || set.Jobs[0].ID != "table1" {
+		t.Fatalf("table1 decomposition = %d jobs (first %q)", len(set.Jobs), set.Jobs[0].ID)
+	}
+	results := runner.Run(runner.Config{Workers: 1}, set.Jobs)
+	if results[0].Err != nil {
+		t.Fatalf("table1 job failed: %v", results[0].Err)
+	}
+	out := set.Merge([][]*stats.Table{results[0].Tables})
+	if len(out) == 0 || !strings.Contains(out[0].String(), "\t") {
+		t.Fatalf("table1 via runner produced no tabular output")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"mcsquare/internal/machine"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/oskern"
+	"mcsquare/internal/runner"
 	"mcsquare/internal/softmc"
 	"mcsquare/internal/stats"
 	"mcsquare/internal/trace"
@@ -71,6 +72,9 @@ type Generator struct {
 	ID    string // "2", "10", "16", "table1", ...
 	Title string
 	Run   func(o Options) []*stats.Table
+	// jobs optionally decomposes the figure into independent runner jobs
+	// (see jobs.go); nil generators run as a single job.
+	jobs func(o Options) JobSet
 }
 
 // extra holds generators beyond the paper's figures (ablations, studies);
@@ -81,23 +85,23 @@ var extra []Generator
 // repository's own extension studies.
 func All() []Generator {
 	return append([]Generator{
-		{"2", "copy overhead across use cases", Figure2},
-		{"3", "source of Protobuf memcpy overhead", Figure3},
-		{"4", "distribution of Protobuf memcpy sizes", Figure4},
-		{"10", "copy latency", Figure10},
-		{"11", "memcpy_lazy overhead breakdown", Figure11},
-		{"12", "sequential destination access", Figure12},
-		{"13", "random destination access", Figure13},
-		{"14", "Protobuf runtime", Figure14},
-		{"15", "MongoDB insert latency", Figure15},
-		{"16", "MVCC RMW throughput", Figure16},
-		{"17", "MVCC write-only throughput", Figure17},
-		{"18", "huge-page COW write latencies", Figure18},
-		{"19", "pipe transfer throughput", Figure19},
-		{"20", "CTT size and threshold sweep", Figure20},
-		{"21", "BPQ size sweep", Figure21},
-		{"22", "parallel CTT freeing", Figure22},
-		{"table1", "simulated configuration", Table1},
+		{"2", "copy overhead across use cases", Figure2, figure2Jobs},
+		{"3", "source of Protobuf memcpy overhead", Figure3, nil},
+		{"4", "distribution of Protobuf memcpy sizes", Figure4, nil},
+		{"10", "copy latency", Figure10, figure10Jobs},
+		{"11", "memcpy_lazy overhead breakdown", Figure11, nil},
+		{"12", "sequential destination access", Figure12, nil},
+		{"13", "random destination access", Figure13, nil},
+		{"14", "Protobuf runtime", Figure14, nil},
+		{"15", "MongoDB insert latency", Figure15, nil},
+		{"16", "MVCC RMW throughput", Figure16, figure16Jobs},
+		{"17", "MVCC write-only throughput", Figure17, figure17Jobs},
+		{"18", "huge-page COW write latencies", Figure18, nil},
+		{"19", "pipe transfer throughput", Figure19, nil},
+		{"20", "CTT size and threshold sweep", Figure20, figure20Jobs},
+		{"21", "BPQ size sweep", Figure21, nil},
+		{"22", "parallel CTT freeing", Figure22, figure22Jobs},
+		{"table1", "simulated configuration", Table1, nil},
 	}, extra...)
 }
 
@@ -115,63 +119,85 @@ func ByID(id string) (Generator, bool) {
 // Motivation figures (§II)
 // ---------------------------------------------------------------------------
 
-// Figure2 measures the fraction of cycles spent copying in four use cases.
-func Figure2(o Options) []*stats.Table {
-	tb := stats.NewTable("Figure 2: copy overhead (fraction of cycles in memcpy)",
+func figure2Table() *stats.Table {
+	return stats.NewTable("Figure 2: copy overhead (fraction of cycles in memcpy)",
 		"workload", "copy_overhead")
+}
 
-	pres := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
-	tb.AddRow("protobuf", float64(pres.CopyCycles)/float64(pres.Cycles))
+// Figure2 measures the fraction of cycles spent copying in four use cases.
+// Each use case is an independent simulation; figure2Jobs enumerates them
+// as runner jobs and Figure2 is their serial execution.
+func Figure2(o Options) []*stats.Table { return runJobSet(o, figure2Jobs(o)) }
 
-	mm := mongo.NewMachine(false)
-	mcfg := o.mongoCfg(nil)
-	mcfg.Copier = &timedCopier{inner: copykit.Eager{}}
-	mres := mongo.Run(mm, mcfg)
-	tc := mcfg.Copier.(*timedCopier)
-	tb.AddRow("mongodb_inserts", float64(tc.copyCycles)/float64(mres.Cycles))
-
-	// MVCC writes: compare update-heavy run against the same run with the
-	// version copies removed; the difference is copy overhead.
-	vcfg := o.mvccCfg(false, 0.125, mvcc.RMW, 1)
-	full := mvcc.Run(mvcc.NewMachine(false, nil), vcfg)
-	nocopy := mvcc.Run(mvcc.NewMachine(false, nil), func() mvcc.Config {
-		c := vcfg
-		c.RowSize = 64 // degenerate tuples: copies ~free, same txn count
-		return c
-	}())
-	frac := 1 - float64(nocopy.Cycles)/float64(full.Cycles)
-	if frac < 0 {
-		frac = 0
+func figure2Jobs(o Options) JobSet {
+	row := func(name string, v float64) []*stats.Table {
+		tb := figure2Table()
+		tb.AddRow(name, v)
+		return tables(tb)
 	}
-	tb.AddRow("cicada_writes", frac)
-
-	// Fork + COW fault: share of the fault handler spent copying the page.
-	p := machine.DefaultParams()
-	m := machine.New(p)
-	k := oskern.New(m)
-	as := k.NewAddressSpace()
-	as.MapRegion(1<<30, memdata.PageSize, false)
-	var copyCycles, faultCycles uint64
-	m.Run(func(c *cpu.Core) {
-		as.Fork(c)
-		t0 := c.Now()
-		// Touch through the VM layer: triggers the COW fault.
-		as.Store(c, 1<<30, []byte{1})
-		c.Fence()
-		faultCycles = uint64(c.Now() - t0)
-	})
-	// The copy portion alone, measured on a fresh machine.
-	m2 := machine.New(p)
-	src := m2.AllocPage(memdata.PageSize)
-	dst := m2.AllocPage(memdata.PageSize)
-	m2.FillRandom(src, memdata.PageSize, 1)
-	m2.Run(func(c *cpu.Core) {
-		t0 := c.Now()
-		softmc.MemcpyEager(c, dst, src, memdata.PageSize)
-		copyCycles = uint64(c.Now() - t0)
-	})
-	tb.AddRow("fork_cow_fault_4K", float64(copyCycles)/float64(faultCycles))
-	return []*stats.Table{tb}
+	return JobSet{
+		Jobs: []runner.Job{
+			job("2/protobuf", func() []*stats.Table {
+				pres := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+				return row("protobuf", float64(pres.CopyCycles)/float64(pres.Cycles))
+			}),
+			job("2/mongodb", func() []*stats.Table {
+				mm := mongo.NewMachine(false)
+				mcfg := o.mongoCfg(nil)
+				mcfg.Copier = &timedCopier{inner: copykit.Eager{}}
+				mres := mongo.Run(mm, mcfg)
+				tc := mcfg.Copier.(*timedCopier)
+				return row("mongodb_inserts", float64(tc.copyCycles)/float64(mres.Cycles))
+			}),
+			job("2/cicada", func() []*stats.Table {
+				// MVCC writes: compare update-heavy run against the same run
+				// with the version copies removed; the difference is copy
+				// overhead.
+				vcfg := o.mvccCfg(false, 0.125, mvcc.RMW, 1)
+				full := mvcc.Run(mvcc.NewMachine(false, nil), vcfg)
+				nocopy := mvcc.Run(mvcc.NewMachine(false, nil), func() mvcc.Config {
+					c := vcfg
+					c.RowSize = 64 // degenerate tuples: copies ~free, same txn count
+					return c
+				}())
+				frac := 1 - float64(nocopy.Cycles)/float64(full.Cycles)
+				if frac < 0 {
+					frac = 0
+				}
+				return row("cicada_writes", frac)
+			}),
+			job("2/fork_cow", func() []*stats.Table {
+				// Fork + COW fault: share of the fault handler spent copying
+				// the page.
+				p := machine.DefaultParams()
+				m := machine.New(p)
+				k := oskern.New(m)
+				as := k.NewAddressSpace()
+				as.MapRegion(1<<30, memdata.PageSize, false)
+				var copyCycles, faultCycles uint64
+				m.Run(func(c *cpu.Core) {
+					as.Fork(c)
+					t0 := c.Now()
+					// Touch through the VM layer: triggers the COW fault.
+					as.Store(c, 1<<30, []byte{1})
+					c.Fence()
+					faultCycles = uint64(c.Now() - t0)
+				})
+				// The copy portion alone, measured on a fresh machine.
+				m2 := machine.New(p)
+				src := m2.AllocPage(memdata.PageSize)
+				dst := m2.AllocPage(memdata.PageSize)
+				m2.FillRandom(src, memdata.PageSize, 1)
+				m2.Run(func(c *cpu.Core) {
+					t0 := c.Now()
+					softmc.MemcpyEager(c, dst, src, memdata.PageSize)
+					copyCycles = uint64(c.Now() - t0)
+				})
+				return row("fork_cow_fault_4K", float64(copyCycles)/float64(faultCycles))
+			}),
+		},
+		Merge: concatParts,
+	}
 }
 
 // timedCopier wraps a copier and accumulates cycles spent in Memcpy.
@@ -230,8 +256,21 @@ func Figure4(o Options) []*stats.Table {
 // Microbenchmarks (§V-A, §V-C)
 // ---------------------------------------------------------------------------
 
-// Figure10 is the copy-latency sweep.
-func Figure10(o Options) []*stats.Table { return []*stats.Table{micro.CopyLatency(o.microOpt())} }
+// Figure10 is the copy-latency sweep; figure10Jobs enumerates its size
+// ladder as one job per size.
+func Figure10(o Options) []*stats.Table { return runJobSet(o, figure10Jobs(o)) }
+
+func figure10Jobs(o Options) JobSet {
+	mopt := o.microOpt()
+	var jobs []runner.Job
+	for _, size := range micro.SweepSizes(mopt) {
+		size := size
+		jobs = append(jobs, job(fmt.Sprintf("10/%d", size), func() []*stats.Table {
+			return tables(micro.CopyLatencyRow(mopt, size))
+		}))
+	}
+	return JobSet{Jobs: jobs, Merge: concatParts}
+}
 
 // Figure11 is the memcpy_lazy overhead breakdown.
 func Figure11(o Options) []*stats.Table { return []*stats.Table{micro.Breakdown(o.microOpt())} }
@@ -280,41 +319,60 @@ func Figure15(o Options) []*stats.Table {
 // mvccFractions is the Fig 16/17 x-axis.
 func mvccFractions() []float64 { return []float64{0.0625, 0.125, 0.25, 0.5, 1.0} }
 
-func mvccSweep(o Options, mode mvcc.Mode, threads int, withNT bool) *stats.Table {
+func mvccTable(mode mvcc.Mode, threads int, withNT bool) *stats.Table {
 	name := map[mvcc.Mode]string{mvcc.RMW: "read-modify-write", mvcc.WriteOnly: "write-only"}[mode]
 	cols := []string{"fraction", "baseline", "mc2"}
 	if withNT {
 		cols = append(cols, "mc2_nontemporal")
 	}
-	tb := stats.NewTable(fmt.Sprintf("MVCC %s throughput (kOps/s), %d thread(s)", name, threads), cols...)
-	for _, f := range mvccFractions() {
-		base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, f, mode, threads))
-		lazy := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mode, threads))
-		row := []interface{}{f, base.ThroughputKOps(), lazy.ThroughputKOps()}
-		if withNT {
-			nt := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
-			row = append(row, nt.ThroughputKOps())
-		}
-		tb.AddRow(row...)
+	return stats.NewTable(fmt.Sprintf("MVCC %s throughput (kOps/s), %d thread(s)", name, threads), cols...)
+}
+
+// mvccRow computes one fraction's row of a Fig 16/17 sweep as a one-row
+// table: a baseline run, an (MC)² run, and optionally the non-temporal
+// variant, each on its own machine.
+func mvccRow(o Options, mode mvcc.Mode, threads int, f float64, withNT bool) *stats.Table {
+	tb := mvccTable(mode, threads, withNT)
+	base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, f, mode, threads))
+	lazy := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mode, threads))
+	row := []interface{}{f, base.ThroughputKOps(), lazy.ThroughputKOps()}
+	if withNT {
+		nt := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
+		row = append(row, nt.ThroughputKOps())
 	}
+	tb.AddRow(row...)
 	return tb
 }
 
-// Figure16 is the MVCC read-modify-write sweep (a: 1 thread, b: 8 threads).
-func Figure16(o Options) []*stats.Table {
-	return []*stats.Table{
-		mvccSweep(o, mvcc.RMW, 1, false),
-		mvccSweep(o, mvcc.RMW, 8, false),
+// mvccJobs enumerates a fraction×thread grid: one job per (threads,
+// fraction) cell, grouped back into one table per thread count.
+func mvccJobs(o Options, fig string, mode mvcc.Mode, withNT bool) JobSet {
+	threads := []int{1, 8}
+	var jobs []runner.Job
+	for _, th := range threads {
+		for _, f := range mvccFractions() {
+			th, f := th, f
+			jobs = append(jobs, job(fmt.Sprintf("%s/t%d/f%g", fig, th, f), func() []*stats.Table {
+				return tables(mvccRow(o, mode, th, f, withNT))
+			}))
+		}
+	}
+	n := len(mvccFractions())
+	return JobSet{
+		Jobs:  jobs,
+		Merge: func(parts [][]*stats.Table) []*stats.Table { return concatGroups(parts, n, n) },
 	}
 }
 
+// Figure16 is the MVCC read-modify-write sweep (a: 1 thread, b: 8 threads).
+func Figure16(o Options) []*stats.Table { return runJobSet(o, figure16Jobs(o)) }
+
+func figure16Jobs(o Options) JobSet { return mvccJobs(o, "16", mvcc.RMW, false) }
+
 // Figure17 is the MVCC write-only sweep with the non-temporal variant.
-func Figure17(o Options) []*stats.Table {
-	return []*stats.Table{
-		mvccSweep(o, mvcc.WriteOnly, 1, true),
-		mvccSweep(o, mvcc.WriteOnly, 8, true),
-	}
-}
+func Figure17(o Options) []*stats.Table { return runJobSet(o, figure17Jobs(o)) }
+
+func figure17Jobs(o Options) JobSet { return mvccJobs(o, "17", mvcc.WriteOnly, true) }
 
 // ---------------------------------------------------------------------------
 // OS experiments (§V-B)
@@ -357,53 +415,86 @@ func Figure19(o Options) []*stats.Table {
 // Sensitivity studies (§V-C)
 // ---------------------------------------------------------------------------
 
-// Figure20 sweeps CTT capacity and async-free threshold under Protobuf.
-func Figure20(o Options) []*stats.Table {
-	entries := []int{1024, 2048, 4096}
-	thresholds := []float64{0.25, 0.50, 0.75, 0.90}
+// figure20Grid is the Fig 20 sweep space.
+func figure20Grid(o Options) (entries []int, thresholds []float64) {
+	entries = []int{1024, 2048, 4096}
+	thresholds = []float64{0.25, 0.50, 0.75, 0.90}
 	if o.Quick {
 		entries = []int{256, 512, 1024}
 	}
-	rt := stats.NewTable("Figure 20a: Protobuf runtime (ms) by CTT entries x copy threshold",
-		append([]string{"entries"}, percentCols(thresholds)...)...)
-	type cell struct{ runtime, stalls float64 }
-	grid := map[int]map[float64]cell{}
-	var minS, maxS = 1e18, -1.0
+	return entries, thresholds
+}
+
+// figure20Cell runs Protobuf under one (CTT entries, free threshold)
+// configuration and returns the raw cell: runtime and MCLAZY stall cycles.
+func figure20Cell(o Options, e int, th float64) *stats.Table {
+	m := protobuf.NewMachine(true, func(p *machine.Params) {
+		p.Lazy.CTTCapacity = e
+		p.Lazy.FreeThreshold = th
+	})
+	res := protobuf.Run(m, o.protoCfg(copykit.Lazy{Threshold: 1024}))
+	tb := stats.NewTable("Figure 20 cell", "entries", "threshold", "runtime_ms", "stall_cycles")
+	tb.AddRow(e, th, stats.CyclesToMs(uint64(res.Cycles)), float64(m.Lazy.Stats.LazyStallCycles))
+	return tb
+}
+
+// Figure20 sweeps CTT capacity and async-free threshold under Protobuf.
+// Each grid cell is an independent job; the stall normalization needs every
+// cell, so it happens in the merge over the cells' raw values.
+func Figure20(o Options) []*stats.Table { return runJobSet(o, figure20Jobs(o)) }
+
+func figure20Jobs(o Options) JobSet {
+	entries, thresholds := figure20Grid(o)
+	var jobs []runner.Job
 	for _, e := range entries {
-		grid[e] = map[float64]cell{}
 		for _, th := range thresholds {
 			e, th := e, th
-			m := protobuf.NewMachine(true, func(p *machine.Params) {
-				p.Lazy.CTTCapacity = e
-				p.Lazy.FreeThreshold = th
-			})
-			res := protobuf.Run(m, o.protoCfg(copykit.Lazy{Threshold: 1024}))
-			s := float64(m.Lazy.Stats.LazyStallCycles)
-			grid[e][th] = cell{runtime: stats.CyclesToMs(uint64(res.Cycles)), stalls: s}
-			minS, maxS = minFloat(minS, s), maxFloat(maxS, s)
+			jobs = append(jobs, job(fmt.Sprintf("20/e%d/th%.0f%%", e, th*100), func() []*stats.Table {
+				return tables(figure20Cell(o, e, th))
+			}))
 		}
 	}
-	for _, e := range entries {
-		row := []interface{}{e}
-		for _, th := range thresholds {
-			row = append(row, grid[e][th].runtime)
-		}
-		rt.AddRow(row...)
-	}
-	st := stats.NewTable("Figure 20b: max-min normalized MCLAZY stall cycles (full CTT)",
-		append([]string{"entries"}, percentCols(thresholds)...)...)
-	for _, e := range entries {
-		row := []interface{}{e}
-		for _, th := range thresholds {
-			v := 0.0
-			if maxS > minS {
-				v = (grid[e][th].stalls - minS) / (maxS - minS)
+	merge := func(parts [][]*stats.Table) []*stats.Table {
+		cell := func(ei, ti int) *stats.Table { return parts[ei*len(thresholds)+ti][0] }
+		float := func(tb *stats.Table, col int) float64 {
+			v, ok := tb.Float(0, col)
+			if !ok {
+				panic("figures: non-numeric Figure 20 cell")
 			}
-			row = append(row, v)
+			return v
 		}
-		st.AddRow(row...)
+		var minS, maxS = 1e18, -1.0
+		for ei := range entries {
+			for ti := range thresholds {
+				s := float(cell(ei, ti), 3)
+				minS, maxS = minFloat(minS, s), maxFloat(maxS, s)
+			}
+		}
+		rt := stats.NewTable("Figure 20a: Protobuf runtime (ms) by CTT entries x copy threshold",
+			append([]string{"entries"}, percentCols(thresholds)...)...)
+		for ei, e := range entries {
+			row := []interface{}{e}
+			for ti := range thresholds {
+				row = append(row, float(cell(ei, ti), 2))
+			}
+			rt.AddRow(row...)
+		}
+		st := stats.NewTable("Figure 20b: max-min normalized MCLAZY stall cycles (full CTT)",
+			append([]string{"entries"}, percentCols(thresholds)...)...)
+		for ei, e := range entries {
+			row := []interface{}{e}
+			for ti := range thresholds {
+				v := 0.0
+				if maxS > minS {
+					v = (float(cell(ei, ti), 3) - minS) / (maxS - minS)
+				}
+				row = append(row, v)
+			}
+			st.AddRow(row...)
+		}
+		return tables(rt, st)
 	}
-	return []*stats.Table{rt, st}
+	return JobSet{Jobs: jobs, Merge: merge}
 }
 
 func percentCols(ths []float64) []string {
@@ -428,36 +519,54 @@ func maxFloat(a, b float64) float64 {
 	return b
 }
 
-// Figure22 sweeps parallel CTT freeing against thread count under MVCC.
-func Figure22(o Options) []*stats.Table {
-	threads := []int{1, 2, 4, 8}
-	frees := []int{1, 2, 4, 8}
+func figure22Table(frees []int) *stats.Table {
 	cols := []string{"threads"}
 	for _, f := range frees {
 		cols = append(cols, fmt.Sprintf("free%d", f))
 	}
-	tb := stats.NewTable("Figure 22: MVCC throughput with (MC)², normalized to memcpy, by parallel CTT frees",
+	return stats.NewTable("Figure 22: MVCC throughput with (MC)², normalized to memcpy, by parallel CTT frees",
 		cols...)
+}
+
+// figure22Row computes one thread count's row: the shared baseline run plus
+// one (MC)² run per parallel-free setting, normalized to the baseline.
+func figure22Row(o Options, th int, frees []int, ctt int) *stats.Table {
+	tb := figure22Table(frees)
+	base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, 0.125, mvcc.RMW, th))
+	row := []interface{}{th}
+	for _, fr := range frees {
+		fr := fr
+		m := mvcc.NewMachine(true, func(p *machine.Params) {
+			p.Lazy.CTTCapacity = ctt
+			p.Lazy.ParallelFrees = fr
+		})
+		lazy := mvcc.Run(m, o.mvccCfg(true, 0.125, mvcc.RMW, th))
+		row = append(row, lazy.ThroughputKOps()/base.ThroughputKOps())
+	}
+	tb.AddRow(row...)
+	return tb
+}
+
+// Figure22 sweeps parallel CTT freeing against thread count under MVCC.
+// Rows share a per-thread baseline, so the job grain is one row.
+func Figure22(o Options) []*stats.Table { return runJobSet(o, figure22Jobs(o)) }
+
+func figure22Jobs(o Options) JobSet {
+	threads := []int{1, 2, 4, 8}
+	frees := []int{1, 2, 4, 8}
 	// Pressure the CTT: small table of capacity relative to update rate.
 	ctt := 256
 	if !o.Quick {
 		ctt = 512
 	}
+	var jobs []runner.Job
 	for _, th := range threads {
-		base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, 0.125, mvcc.RMW, th))
-		row := []interface{}{th}
-		for _, fr := range frees {
-			fr := fr
-			m := mvcc.NewMachine(true, func(p *machine.Params) {
-				p.Lazy.CTTCapacity = ctt
-				p.Lazy.ParallelFrees = fr
-			})
-			lazy := mvcc.Run(m, o.mvccCfg(true, 0.125, mvcc.RMW, th))
-			row = append(row, lazy.ThroughputKOps()/base.ThroughputKOps())
-		}
-		tb.AddRow(row...)
+		th := th
+		jobs = append(jobs, job(fmt.Sprintf("22/t%d", th), func() []*stats.Table {
+			return tables(figure22Row(o, th, frees, ctt))
+		}))
 	}
-	return []*stats.Table{tb}
+	return JobSet{Jobs: jobs, Merge: concatParts}
 }
 
 // ---------------------------------------------------------------------------

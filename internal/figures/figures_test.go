@@ -18,7 +18,20 @@ func parse(t *testing.T, s string) float64 {
 // TestAllGeneratorsProduceTables runs the faster generators end to end in
 // quick mode and sanity-checks the output structure. The heavyweight
 // sweeps (16, 17, 20, 22) have their own focused tests below.
+
+// skipHeavyUnderRace defers whole-figure sweep tests to the non-race run:
+// under the race detector's ~10x slowdown they exceed the package test
+// timeout on small machines, and they exercise no concurrency anyway (the
+// race build instead runs the worker-pool determinism tests).
+func skipHeavyUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("heavy figure sweep: covered by the non-race run")
+	}
+}
+
 func TestAllGeneratorsProduceTables(t *testing.T) {
+	skipHeavyUnderRace(t)
 	skip := map[string]bool{"16": true, "17": true, "20": true, "22": true,
 		"10": true, "11": true, "12": true, "13": true, "21": true} // covered in micro tests
 	o := Options{Quick: true}
@@ -87,6 +100,7 @@ func TestFigure14Ordering(t *testing.T) {
 }
 
 func TestFigure16Sweep(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tables := Figure16(Options{Quick: true})
 	if len(tables) != 2 {
 		t.Fatalf("want 2 tables (1 and 8 threads), got %d", len(tables))
@@ -104,6 +118,7 @@ func TestFigure16Sweep(t *testing.T) {
 }
 
 func TestFigure20Sweep(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tables := Figure20(Options{Quick: true})
 	if len(tables) != 2 {
 		t.Fatalf("want runtime + stalls tables, got %d", len(tables))
@@ -129,6 +144,7 @@ func TestFigure20Sweep(t *testing.T) {
 }
 
 func TestFigure22Sweep(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tb := Figure22(Options{Quick: true})[0]
 	rows := tb.Rows()
 	last := rows[len(rows)-1] // 8 threads
@@ -141,6 +157,7 @@ func TestFigure22Sweep(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tables := Ablations(Options{Quick: true})
 	if len(tables) != 3 {
 		t.Fatalf("want 3 ablation tables, got %d", len(tables))
@@ -171,6 +188,7 @@ func TestPollution(t *testing.T) {
 }
 
 func TestScaling(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tables := Scaling(Options{Quick: true})
 	if len(tables) != 2 {
 		t.Fatalf("want 2 scaling tables, got %d", len(tables))

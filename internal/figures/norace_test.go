@@ -1,0 +1,5 @@
+//go:build !race
+
+package figures
+
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package figures
+
+// raceEnabled reports whether the race detector is compiled in. The heavy
+// sweep tests run whole quick-mode figures; under the detector's ~10x
+// slowdown they blow the package's test timeout on small machines, so they
+// defer to the plain run and the race build keeps the concurrency-focused
+// tests.
+const raceEnabled = true

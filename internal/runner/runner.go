@@ -1,0 +1,147 @@
+// Package runner executes independent deterministic experiment jobs on a
+// worker pool while keeping results in submission order, so parallel runs
+// emit byte-for-byte the output of serial ones.
+//
+// Every figure datapoint in this repository is a self-contained simulation:
+// it builds its own machine.Params, runs to completion, and returns tables.
+// Jobs therefore never share state, and the only ordering that matters is
+// the order results are *assembled* in — which Run pins to the order jobs
+// were submitted, regardless of which worker finishes first.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
+)
+
+// Options scales the experiments, mirroring figures.Options. Jobs produced
+// by a decomposition are usually already bound to their options; the value
+// passed here is forwarded for jobs that want it.
+type Options struct {
+	Quick bool
+}
+
+// Job is one independently runnable experiment. Run must be deterministic
+// and self-contained: it may not read or write state shared with other
+// jobs (each builds its own simulated machine).
+type Job struct {
+	ID  string
+	Run func(o Options) []*stats.Table
+}
+
+// Metrics records per-job cost, reported on the progress line.
+type Metrics struct {
+	Wall      time.Duration
+	SimCycles uint64 // simulated cycles; exact attribution with 1 worker, process-total sampling otherwise
+	PeakRows  int    // rows in the job's largest table
+	NumTables int
+}
+
+// Result pairs a job with its output. Results are returned in submission
+// order. A panicking job is recovered into Err so the remaining jobs still
+// run; its Tables are nil.
+type Result struct {
+	ID      string
+	Index   int
+	Tables  []*stats.Table
+	Err     error
+	Metrics Metrics
+}
+
+// Config shapes one Run call.
+type Config struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS. 1 reproduces a
+	// fully serial run: jobs execute in submission order on the calling
+	// flow's single worker.
+	Workers int
+	// Options is forwarded to every job.
+	Options Options
+	// Progress, when non-nil, receives a live one-line status ("\r"-
+	// rewritten) plus a final newline. Point it at os.Stderr.
+	Progress io.Writer
+}
+
+// Run executes the jobs on the pool and returns one Result per job, in
+// submission order.
+func Run(cfg Config, jobs []Job) []Result {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	var (
+		next atomic.Int64
+		done atomic.Int64
+		wg   sync.WaitGroup
+		pmu  sync.Mutex // serializes Progress writes
+	)
+	progress := func(r *Result) {
+		if cfg.Progress == nil {
+			return
+		}
+		pmu.Lock()
+		defer pmu.Unlock()
+		fmt.Fprintf(cfg.Progress, "\r[%d/%d] %-32s %8s  %6.1f Mcyc  ",
+			done.Load(), int64(len(jobs)), r.ID,
+			r.Metrics.Wall.Round(time.Millisecond),
+			float64(r.Metrics.SimCycles)/1e6)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = runOne(i, jobs[i], cfg.Options)
+				done.Add(1)
+				progress(&results[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if cfg.Progress != nil {
+		fmt.Fprintln(cfg.Progress)
+	}
+	return results
+}
+
+// runOne executes a single job, capturing metrics and recovering panics.
+func runOne(index int, job Job, o Options) (res Result) {
+	res = Result{ID: job.ID, Index: index}
+	start := time.Now()
+	cyc0 := sim.SimulatedCycles()
+	defer func() {
+		res.Metrics.Wall = time.Since(start)
+		res.Metrics.SimCycles = sim.SimulatedCycles() - cyc0
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("job %s panicked: %v", job.ID, p)
+			res.Tables = nil
+		}
+	}()
+	res.Tables = job.Run(o)
+	res.Metrics.NumTables = len(res.Tables)
+	for _, tb := range res.Tables {
+		if n := tb.NumRows(); n > res.Metrics.PeakRows {
+			res.Metrics.PeakRows = n
+		}
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcsquare/internal/stats"
+)
+
+// mkJob returns a job emitting a one-row table tagged with its id.
+func mkJob(id string, delay time.Duration) Job {
+	return Job{ID: id, Run: func(o Options) []*stats.Table {
+		time.Sleep(delay)
+		tb := stats.NewTable("t", "id")
+		tb.AddRow(id)
+		return []*stats.Table{tb}
+	}}
+}
+
+func ids(results []Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Tables[0].Rows()[0][0]
+	}
+	return out
+}
+
+// TestSubmissionOrderPreserved: results come back in submission order even
+// when later jobs finish first.
+func TestSubmissionOrderPreserved(t *testing.T) {
+	jobs := []Job{
+		mkJob("a", 30*time.Millisecond),
+		mkJob("b", 0),
+		mkJob("c", 10*time.Millisecond),
+		mkJob("d", 0),
+	}
+	res := Run(Config{Workers: 4}, jobs)
+	got := strings.Join(ids(res), "")
+	if got != "abcd" {
+		t.Fatalf("result order %q, want abcd", got)
+	}
+	for i, r := range res {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+	}
+}
+
+// TestSerialEqualsParallel: the assembled results are identical for 1 and N
+// workers.
+func TestSerialEqualsParallel(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, mkJob(fmt.Sprintf("j%02d", i), time.Duration(i%3)*time.Millisecond))
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		for _, r := range Run(Config{Workers: workers}, jobs) {
+			for _, tb := range r.Tables {
+				b.WriteString(tb.String())
+			}
+		}
+		return b.String()
+	}
+	if s, p := render(1), render(8); s != p {
+		t.Fatalf("serial and parallel renders differ:\n%s\n---\n%s", s, p)
+	}
+}
+
+// TestWorkerOneRunsInOrder: with one worker, jobs execute strictly in
+// submission order (the serial-reproduction guarantee).
+func TestWorkerOneRunsInOrder(t *testing.T) {
+	var order []string
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("j%d", i)
+		jobs = append(jobs, Job{ID: id, Run: func(Options) []*stats.Table {
+			order = append(order, id) // safe: single worker
+			return nil
+		}})
+	}
+	Run(Config{Workers: 1}, jobs)
+	for i, id := range order {
+		if want := fmt.Sprintf("j%d", i); id != want {
+			t.Fatalf("execution order %v", order)
+		}
+	}
+}
+
+// TestPanicRecovered: a panicking job becomes an error result; the other
+// jobs still run.
+func TestPanicRecovered(t *testing.T) {
+	var ran atomic.Int64
+	jobs := []Job{
+		{ID: "boom", Run: func(Options) []*stats.Table { panic("kaput") }},
+		{ID: "ok", Run: func(Options) []*stats.Table { ran.Add(1); return nil }},
+	}
+	res := Run(Config{Workers: 2}, jobs)
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "kaput") {
+		t.Fatalf("panic not captured: %v", res[0].Err)
+	}
+	if res[0].Tables != nil {
+		t.Fatal("panicked job returned tables")
+	}
+	if res[1].Err != nil || ran.Load() != 1 {
+		t.Fatalf("sibling job did not run cleanly: err=%v ran=%d", res[1].Err, ran.Load())
+	}
+}
+
+// TestOptionsForwarded: the configured options reach every job.
+func TestOptionsForwarded(t *testing.T) {
+	var sawQuick atomic.Bool
+	jobs := []Job{{ID: "q", Run: func(o Options) []*stats.Table {
+		sawQuick.Store(o.Quick)
+		return nil
+	}}}
+	Run(Config{Workers: 1, Options: Options{Quick: true}}, jobs)
+	if !sawQuick.Load() {
+		t.Fatal("options not forwarded to job")
+	}
+}
+
+// TestMetricsRecorded: wall-clock and table metrics are filled in.
+func TestMetricsRecorded(t *testing.T) {
+	jobs := []Job{{ID: "m", Run: func(Options) []*stats.Table {
+		time.Sleep(5 * time.Millisecond)
+		a := stats.NewTable("a", "x")
+		a.AddRow(1)
+		b := stats.NewTable("b", "x")
+		b.AddRow(1)
+		b.AddRow(2)
+		return []*stats.Table{a, b}
+	}}}
+	res := Run(Config{Workers: 1}, jobs)
+	m := res[0].Metrics
+	if m.Wall <= 0 {
+		t.Fatalf("wall = %v", m.Wall)
+	}
+	if m.NumTables != 2 || m.PeakRows != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestProgressLine: the progress writer receives per-job updates and a
+// final newline.
+func TestProgressLine(t *testing.T) {
+	var b syncBuffer
+	jobs := []Job{mkJob("p1", 0), mkJob("p2", 0)}
+	Run(Config{Workers: 2, Progress: &b}, jobs)
+	out := b.String()
+	if !strings.Contains(out, "/2]") {
+		t.Fatalf("progress output %q lacks job counts", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("progress output %q not newline-terminated", out)
+	}
+}
+
+// TestEmptyAndOversizedPool: degenerate configurations don't hang.
+func TestEmptyAndOversizedPool(t *testing.T) {
+	if res := Run(Config{Workers: 4}, nil); len(res) != 0 {
+		t.Fatalf("empty job list returned %d results", len(res))
+	}
+	res := Run(Config{Workers: 64}, []Job{mkJob("solo", 0)})
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("oversized pool: %+v", res)
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder (Progress is written from
+// worker goroutines).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

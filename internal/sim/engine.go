@@ -10,7 +10,20 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
+
+// totalCycles accumulates simulated cycles across every engine in the
+// process. Engines flush their progress when they finish running (Drain,
+// RunUntil), so the counter is cheap to maintain and safe to read from
+// other goroutines (the experiment runner samples it for progress metrics).
+var totalCycles atomic.Uint64
+
+// SimulatedCycles returns the total simulated cycles executed by all
+// engines so far. With several engines running on concurrent goroutines the
+// per-caller attribution is approximate, but the process-wide total is
+// exact once every engine has drained.
+func SimulatedCycles() uint64 { return totalCycles.Load() }
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
 type Cycle = uint64
@@ -46,10 +59,11 @@ func (h *eventHeap) Pop() interface{} {
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	procs  []*Proc // live processes, for deadlock diagnostics
+	now      Cycle
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc // live processes, for deadlock diagnostics
+	reported Cycle   // cycles already flushed into totalCycles
 }
 
 // NewEngine returns an engine with simulated time at cycle 0.
@@ -100,6 +114,7 @@ func (e *Engine) RunUntil(limit Cycle) {
 	if e.now < limit && len(e.events) == 0 {
 		e.now = limit
 	}
+	e.flushCycles()
 }
 
 // Drain runs events until none remain. If a process is still blocked when
@@ -107,9 +122,19 @@ func (e *Engine) RunUntil(limit Cycle) {
 func (e *Engine) Drain() {
 	for e.Step() {
 	}
+	e.flushCycles()
 	for _, p := range e.procs {
 		if !p.finished {
 			panic("sim: Drain with blocked process(es): " + p.name)
 		}
+	}
+}
+
+// flushCycles publishes this engine's progress into the process-wide
+// counter. Idempotent: only the cycles since the last flush are added.
+func (e *Engine) flushCycles() {
+	if e.now > e.reported {
+		totalCycles.Add(uint64(e.now - e.reported))
+		e.reported = e.now
 	}
 }

@@ -108,11 +108,14 @@ func (h *Histogram) CDF(thresholds []float64) []float64 {
 }
 
 // Table accumulates rows and writes them tab-separated, one figure per
-// file, like the paper artifact's results/figureX.txt.
+// file, like the paper artifact's results/figureX.txt. Raw values are kept
+// alongside their formatted rendering so that merge steps (the parallel
+// experiment runner assembles sweep figures from independently computed
+// cells) can post-process exact numbers instead of re-parsing strings.
 type Table struct {
 	Title   string
 	Columns []string
-	rows    [][]string
+	rows    [][]interface{}
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -122,25 +125,67 @@ func NewTable(title string, columns ...string) *Table {
 
 // AddRow appends one row; values are formatted with %v (floats compactly).
 func (t *Table) AddRow(values ...interface{}) {
-	row := make([]string, len(values))
-	for i, v := range values {
-		switch x := v.(type) {
-		case float64:
-			row[i] = formatFloat(x)
-		case float32:
-			row[i] = formatFloat(float64(x))
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
-	}
-	t.rows = append(t.rows, row)
+	t.rows = append(t.rows, append([]interface{}(nil), values...))
 }
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
 // Rows returns the formatted rows.
-func (t *Table) Rows() [][]string { return t.rows }
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = formatRow(row)
+	}
+	return out
+}
+
+// Value returns the raw value at (row, col) as it was passed to AddRow.
+func (t *Table) Value(row, col int) interface{} { return t.rows[row][col] }
+
+// Float returns the raw value at (row, col) as a float64. It reports false
+// for non-numeric cells.
+func (t *Table) Float(row, col int) (float64, bool) {
+	switch x := t.rows[row][col].(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// AppendRows appends every row of the given tables, in order, preserving
+// raw values. Parts narrower than t are allowed (trailing cells empty is a
+// bug the caller owns); parts wider panic.
+func (t *Table) AppendRows(parts ...*Table) {
+	for _, p := range parts {
+		for _, row := range p.rows {
+			if len(row) > len(t.Columns) {
+				panic(fmt.Sprintf("stats: appending %d-cell row to %d-column table %q",
+					len(row), len(t.Columns), t.Title))
+			}
+			t.rows = append(t.rows, row)
+		}
+	}
+}
+
+// Concat builds a table with the given title and columns holding the rows
+// of each part in submission order. It is the canonical merge for sweep
+// figures whose rows are computed as independent jobs.
+func Concat(title string, columns []string, parts ...*Table) *Table {
+	t := NewTable(title, columns...)
+	t.AppendRows(parts...)
+	return t
+}
 
 // WriteTo writes the table: a comment line with the title, the header, and
 // tab-separated rows. It implements io.WriterTo.
@@ -150,11 +195,26 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	b.WriteString(strings.Join(t.Columns, "\t"))
 	b.WriteByte('\n')
 	for _, row := range t.rows {
-		b.WriteString(strings.Join(row, "\t"))
+		b.WriteString(strings.Join(formatRow(row), "\t"))
 		b.WriteByte('\n')
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
+}
+
+func formatRow(row []interface{}) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		switch x := v.(type) {
+		case float64:
+			out[i] = formatFloat(x)
+		case float32:
+			out[i] = formatFloat(float64(x))
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return out
 }
 
 // String renders the table as its file content.

@@ -118,3 +118,97 @@ func TestConversions(t *testing.T) {
 		t.Fatal("zero-division speedup should be +Inf")
 	}
 }
+
+func TestTableRawValues(t *testing.T) {
+	tb := NewTable("raw", "a", "b")
+	tb.AddRow(uint64(7), 0.123456789)
+	tb.AddRow("label", 3)
+	if v := tb.Value(0, 0); v != uint64(7) {
+		t.Fatalf("Value(0,0) = %v (%T)", v, v)
+	}
+	// Float must return the exact stored value, not a re-parse of the
+	// "%.4g" rendering (merge-time normalization depends on this).
+	if f, ok := tb.Float(0, 1); !ok || f != 0.123456789 {
+		t.Fatalf("Float(0,1) = %v, %v", f, ok)
+	}
+	if f, ok := tb.Float(1, 1); !ok || f != 3 {
+		t.Fatalf("Float(1,1) = %v, %v", f, ok)
+	}
+	if _, ok := tb.Float(1, 0); ok {
+		t.Fatal("Float on a string cell should report false")
+	}
+}
+
+func TestTableAddRowCopies(t *testing.T) {
+	vals := []interface{}{1, 2}
+	tb := NewTable("copy", "a", "b")
+	tb.AddRow(vals...)
+	vals[0] = 99
+	if v := tb.Value(0, 0); v != 1 {
+		t.Fatalf("AddRow aliased caller slice: Value(0,0) = %v", v)
+	}
+}
+
+func TestConcatAndAppendRows(t *testing.T) {
+	mk := func(v int) *Table {
+		p := NewTable("part", "x", "y")
+		p.AddRow(v, float64(v)/2)
+		return p
+	}
+	merged := Concat("merged", []string{"x", "y"}, mk(1), mk(2), mk(3))
+	if merged.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", merged.NumRows())
+	}
+	// Row order follows part order, raw values preserved.
+	for i := 0; i < 3; i++ {
+		if v := merged.Value(i, 0); v != i+1 {
+			t.Fatalf("row %d col 0 = %v", i, v)
+		}
+		if f, ok := merged.Float(i, 1); !ok || f != float64(i+1)/2 {
+			t.Fatalf("row %d col 1 = %v, %v", i, f, ok)
+		}
+	}
+	// A concatenated table renders exactly like a serially built one.
+	serial := NewTable("merged", "x", "y")
+	serial.AddRow(1, 0.5)
+	serial.AddRow(2, 1.0)
+	serial.AddRow(3, 1.5)
+	if merged.String() != serial.String() {
+		t.Fatalf("merged render differs:\n%s---\n%s", merged.String(), serial.String())
+	}
+}
+
+func TestAppendRowsWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending a wider row did not panic")
+		}
+	}()
+	narrow := NewTable("narrow", "a")
+	wide := NewTable("wide", "a", "b")
+	wide.AddRow(1, 2)
+	narrow.AppendRows(wide)
+}
+
+func TestFormatFloatStability(t *testing.T) {
+	// The rendering contract the figure files depend on: integral floats
+	// print without a decimal point, others as %.4g.
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{30.0, "30"},
+		{-2, "-2"},
+		{15.25, "15.25"},
+		{250.123456, "250.1"},
+		{0.0625, "0.0625"},
+		{1e16, "1e+16"},
+	}
+	for _, c := range cases {
+		tb := NewTable("f", "v")
+		tb.AddRow(c.v)
+		if got := tb.Rows()[0][0]; got != c.want {
+			t.Errorf("format(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

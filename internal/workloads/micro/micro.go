@@ -97,13 +97,32 @@ func Sizes10(max uint64) []uint64 {
 	return out
 }
 
+// SweepSizes returns the Fig 10/11 x-axis for the given options.
+func SweepSizes(opt Options) []uint64 { return Sizes10(opt.withDefaults().MaxSize) }
+
+func copyLatencyTable() *stats.Table {
+	return stats.NewTable("Figure 10: copy latency (ns), prefaulted buffers",
+		"size", "memcpy", "zio", "touched_memcpy", "mc2")
+}
+
 // CopyLatency produces the Fig 10 table: copy latency in ns for native
 // memcpy, zIO, touched (cached-source) memcpy, and (MC)².
 func CopyLatency(opt Options) *stats.Table {
 	opt = opt.withDefaults()
-	tb := stats.NewTable("Figure 10: copy latency (ns), prefaulted buffers",
-		"size", "memcpy", "zio", "touched_memcpy", "mc2")
+	tb := copyLatencyTable()
 	for _, size := range Sizes10(opt.MaxSize) {
+		tb.AppendRows(CopyLatencyRow(opt, size))
+	}
+	return tb
+}
+
+// CopyLatencyRow computes one size's row of the Fig 10 sweep as a one-row
+// table (canonical title and columns), so the ladder can run as independent
+// jobs and be concatenated deterministically.
+func CopyLatencyRow(opt Options, size uint64) *stats.Table {
+	opt = opt.withDefaults()
+	tb := copyLatencyTable()
+	{
 		size := size
 		memcpyT := timeOn(opt, nil, prefault(size), func(c *cpu.Core, m *machine.Machine, src, dst memdata.Addr) {
 			softmc.MemcpyEager(c, dst, src, size)
