@@ -28,8 +28,8 @@ import (
 	"time"
 
 	"mcsquare/internal/figures"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/runner"
-	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
 )
 
@@ -42,11 +42,12 @@ type figurePlan struct {
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "comma-separated figure ids (e.g. 10,16,table1); empty = all")
-		quick = flag.Bool("quick", false, "reduced problem sizes (same shapes, much faster)")
-		out   = flag.String("out", "", "directory for figureX.txt files (default: stdout)")
-		jobs  = flag.Int("jobs", runtime.NumCPU(), "worker pool size; 1 reproduces a serial run")
-		list  = flag.Bool("list", false, "list available figures and exit")
+		fig      = flag.String("fig", "", "comma-separated figure ids (e.g. 10,16,table1); empty = all")
+		quick    = flag.Bool("quick", false, "reduced problem sizes (same shapes, much faster)")
+		out      = flag.String("out", "", "directory for figureX.txt files (default: stdout)")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "worker pool size; 1 reproduces a serial run")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		statsOut = flag.String("stats", "", "write run-wide aggregated metrics (merged over all jobs) as JSON to this file; - for stdout")
 	)
 	flag.Parse()
 
@@ -123,10 +124,21 @@ func main() {
 		}
 	}
 
-	// Read the process-wide counter rather than summing per-job deltas:
-	// with concurrent workers a job's delta includes its neighbors' cycles,
-	// so the sum overcounts (the global counter is always exact).
-	cycles := sim.SimulatedCycles()
+	// Aggregate the per-job snapshots the runner collected. Each job's
+	// snapshot covers exactly the machines that job built, so the merged
+	// total (including sim.cycles) is exact at any worker count.
+	agg := metrics.NewSnapshot()
+	for _, r := range results {
+		if r.Metrics.Snapshot != nil {
+			agg.Merge(r.Metrics.Snapshot)
+		}
+	}
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, agg); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	cycles := agg.Counter("sim.cycles")
 	workers := *jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -143,6 +155,22 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writeStats dumps an aggregated snapshot as JSON to path ("-" = stdout).
+func writeStats(path string, s *metrics.Snapshot) error {
+	if path == "-" {
+		return s.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // emit merges one figure's parts and writes it to stdout or its file.

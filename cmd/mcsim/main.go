@@ -1,5 +1,5 @@
 // mcsim runs a single workload on the simulated machine and prints its
-// result plus the machine's counters — the quick way to poke at one
+// result plus key machine counters — the quick way to poke at one
 // configuration.
 //
 // Usage:
@@ -8,14 +8,24 @@
 //	mcsim -workload mvcc -mech baseline -threads 8 -frac 0.25
 //	mcsim -workload pipe -mech mc2 -size 16384
 //	mcsim -workload hugecow -mech baseline
+//	mcsim -list                          # enumerate workloads and mechanisms
+//	mcsim -stats out.json                # machine-readable metrics dump
+//
+// -stats writes the merged metrics registry of every machine the run
+// built as JSON ("-" for stdout): one object mapping dotted metric names
+// (cpu0.loads, l1.misses, mc0.rejected_writes, engine.bounces, ...) to
+// their kind and value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mcsquare/internal/copykit"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/oskern"
 	"mcsquare/internal/stats"
 	"mcsquare/internal/workloads/mongo"
@@ -25,98 +35,237 @@ import (
 	"mcsquare/internal/zio"
 )
 
+// options carries the parsed flags to the workload runners.
+type options struct {
+	mech    string
+	threads int
+	frac    float64
+	size    uint64
+	quick   bool
+}
+
+// workload is one runnable entry of the -list table. run executes with
+// the mechanism already validated against mechs.
+type workload struct {
+	name  string
+	mechs []string // supported -mech values
+	note  string   // shown by -list, and on rejected mech combinations
+	run   func(o options)
+}
+
+var workloads = []workload{
+	{
+		name:  "protobuf",
+		mechs: []string{"baseline", "zio", "mc2"},
+		run:   runProtobuf,
+	},
+	{
+		name:  "mongo",
+		mechs: []string{"baseline", "zio", "mc2"},
+		run:   runMongo,
+	},
+	{
+		name:  "mvcc",
+		mechs: []string{"baseline", "mc2"},
+		note:  "no zio: the paper could not run zIO on Cicada (MAP_SHARED); neither do we",
+		run:   runMVCC,
+	},
+	{
+		name:  "pipe",
+		mechs: []string{"baseline", "mc2"},
+		run:   runPipe,
+	},
+	{
+		name:  "hugecow",
+		mechs: []string{"baseline", "mc2"},
+		run:   runHugeCOW,
+	},
+}
+
 func main() {
 	var (
-		workload = flag.String("workload", "protobuf", "protobuf | mongo | mvcc | pipe | hugecow")
-		mech     = flag.String("mech", "mc2", "baseline | zio | mc2")
+		wl       = flag.String("workload", "protobuf", "workload to run (see -list)")
+		mech     = flag.String("mech", "mc2", "copy mechanism (see -list)")
 		threads  = flag.Int("threads", 1, "mvcc: worker threads")
 		frac     = flag.Float64("frac", 0.125, "mvcc: update fraction")
 		size     = flag.Uint64("size", 4096, "pipe: transfer size in bytes")
 		quick    = flag.Bool("quick", true, "reduced problem sizes")
+		list     = flag.Bool("list", false, "list workloads and mechanisms and exit")
+		statsOut = flag.String("stats", "", "write the run's metrics registry as JSON to this file; - for stdout")
 	)
 	flag.Parse()
 
-	switch *workload {
-	case "protobuf":
-		cfg := protobuf.Config{Seed: 42}
-		if *quick {
-			cfg.Ops, cfg.Burst = 192, 64
+	if *list {
+		fmt.Println("workload   mechanisms")
+		for _, w := range workloads {
+			fmt.Printf("%-10s %s\n", w.name, strings.Join(w.mechs, ", "))
+			if w.note != "" {
+				fmt.Printf("%-10s   (%s)\n", "", w.note)
+			}
 		}
-		m := protobuf.NewMachine(*mech == "mc2", nil)
-		switch *mech {
-		case "baseline":
-			cfg.Copier = copykit.Eager{}
-		case "zio":
-			cfg.Copier = zio.New(oskern.New(m))
-		case "mc2":
-			cfg.Copier = copykit.Lazy{Threshold: 1024}
-		default:
-			fatal("unknown mechanism %q", *mech)
-		}
-		res := protobuf.Run(m, cfg)
-		fmt.Printf("protobuf/%s: runtime %.3f ms, %d copies (%.1f%% of cycles in memcpy)\n",
-			*mech, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
-			100*float64(res.CopyCycles)/float64(res.Cycles))
-		if m.Lazy != nil {
-			fmt.Printf("  lazy: %+v\n", m.Lazy.Stats)
-		}
-		fmt.Printf("  cache: %+v\n", m.Hier.Stats)
-
-	case "mongo":
-		cfg := mongo.Config{Seed: 42}
-		if *quick {
-			cfg.Inserts, cfg.Fields, cfg.FieldSize = 8, 4, 32<<10
-		}
-		m := mongo.NewMachine(*mech == "mc2")
-		switch *mech {
-		case "baseline":
-			cfg.Copier = copykit.Eager{}
-		case "zio":
-			cfg.Copier = zio.New(oskern.New(m))
-		case "mc2":
-			cfg.Copier = copykit.Lazy{Threshold: 1024}
-		default:
-			fatal("unknown mechanism %q", *mech)
-		}
-		res := mongo.Run(m, cfg)
-		fmt.Printf("mongo/%s: average insert latency %.4f ms (p99 %.4f ms)\n",
-			*mech, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
-
-	case "mvcc":
-		cfg := mvcc.Config{Seed: 42, Threads: *threads, UpdateFraction: *frac, Lazy: *mech == "mc2"}
-		if *quick {
-			cfg.Rows, cfg.OpsPerThread = 128, 60
-		}
-		if *mech == "zio" {
-			fatal("the paper could not run zIO on Cicada (MAP_SHARED); neither do we")
-		}
-		m := mvcc.NewMachine(cfg.Lazy, nil)
-		res := mvcc.Run(m, cfg)
-		fmt.Printf("mvcc/%s: %d txns in %.3f ms = %.0f kOps/s (%d threads, %.1f%% updated)\n",
-			*mech, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
-			*threads, *frac*100)
-
-	case "pipe":
-		lazy := *mech == "mc2"
-		tput := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: *size, Transfers: 48, Lazy: lazy, Seed: 42})
-		fmt.Printf("pipe/%s: %d-byte transfers at %.0f bytes/kilocycle\n", *mech, *size, tput)
-
-	case "hugecow":
-		cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: *mech == "mc2"}
-		if *quick {
-			cfg.RegionBytes, cfg.Accesses = 16<<20, 40
-		}
-		lat := oswl.HugeCOW(cfg)
-		var h stats.Histogram
-		for _, v := range lat {
-			h.Add(float64(v))
-		}
-		fmt.Printf("hugecow/%s: %d accesses, latency min %.0f / mean %.0f / max %.0f cycles\n",
-			*mech, h.N(), h.Min(), h.Mean(), h.Max())
-
-	default:
-		fatal("unknown workload %q", *workload)
+		return
 	}
+
+	w, ok := findWorkload(*wl)
+	if !ok {
+		usageErr("unknown workload %q; available: %s", *wl, strings.Join(workloadNames(), ", "))
+	}
+	if !contains(w.mechs, *mech) {
+		msg := fmt.Sprintf("workload %s does not support -mech %q; supported: %s",
+			w.name, *mech, strings.Join(w.mechs, ", "))
+		if w.note != "" {
+			msg += " (" + w.note + ")"
+		}
+		usageErr("%s", msg)
+	}
+
+	// Collect the registry of every machine the workload builds (some
+	// build theirs internally), so -stats sees the whole run.
+	col := metrics.NewCollector()
+	release := col.Bind()
+	w.run(options{mech: *mech, threads: *threads, frac: *frac, size: *size, quick: *quick})
+	release()
+
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, col.Snapshot()); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func findWorkload(name string) (workload, bool) {
+	for _, w := range workloads {
+		if w.name == name {
+			return w, true
+		}
+	}
+	return workload{}, false
+}
+
+func workloadNames() []string {
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.name
+	}
+	return names
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func runProtobuf(o options) {
+	cfg := protobuf.Config{Seed: 42}
+	if o.quick {
+		cfg.Ops, cfg.Burst = 192, 64
+	}
+	m := protobuf.NewMachine(o.mech == "mc2", nil)
+	cfg.Copier = copierFor(o.mech, m)
+	res := protobuf.Run(m, cfg)
+	fmt.Printf("protobuf/%s: runtime %.3f ms, %d copies (%.1f%% of cycles in memcpy)\n",
+		o.mech, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
+		100*float64(res.CopyCycles)/float64(res.Cycles))
+	printCounters(m.Metrics,
+		"engine.lazy_ops", "engine.bounces", "engine.bounce_writebacks",
+		"ctt.inserts", "l1.misses", "l2.misses", "mc0.reads", "dram0.row_hits")
+}
+
+func runMongo(o options) {
+	cfg := mongo.Config{Seed: 42}
+	if o.quick {
+		cfg.Inserts, cfg.Fields, cfg.FieldSize = 8, 4, 32<<10
+	}
+	m := mongo.NewMachine(o.mech == "mc2")
+	cfg.Copier = copierFor(o.mech, m)
+	res := mongo.Run(m, cfg)
+	fmt.Printf("mongo/%s: average insert latency %.4f ms (p99 %.4f ms)\n",
+		o.mech, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
+}
+
+func runMVCC(o options) {
+	cfg := mvcc.Config{Seed: 42, Threads: o.threads, UpdateFraction: o.frac, Lazy: o.mech == "mc2"}
+	if o.quick {
+		cfg.Rows, cfg.OpsPerThread = 128, 60
+	}
+	m := mvcc.NewMachine(cfg.Lazy, nil)
+	res := mvcc.Run(m, cfg)
+	fmt.Printf("mvcc/%s: %d txns in %.3f ms = %.0f kOps/s (%d threads, %.1f%% updated)\n",
+		o.mech, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
+		o.threads, o.frac*100)
+}
+
+func runPipe(o options) {
+	tput := oswl.PipeThroughput(oswl.PipeConfig{
+		TransferSize: o.size, Transfers: 48, Lazy: o.mech == "mc2", Seed: 42,
+	})
+	fmt.Printf("pipe/%s: %d-byte transfers at %.0f bytes/kilocycle\n", o.mech, o.size, tput)
+}
+
+func runHugeCOW(o options) {
+	cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: o.mech == "mc2"}
+	if o.quick {
+		cfg.RegionBytes, cfg.Accesses = 16<<20, 40
+	}
+	lat := oswl.HugeCOW(cfg)
+	var h stats.Histogram
+	for _, v := range lat {
+		h.Add(float64(v))
+	}
+	fmt.Printf("hugecow/%s: %d accesses, latency min %.0f / mean %.0f / max %.0f cycles\n",
+		o.mech, h.N(), h.Min(), h.Mean(), h.Max())
+}
+
+// copierFor builds the copy mechanism for one machine. Mechanism validity
+// was checked in main before the machine was built.
+func copierFor(mech string, m *machine.Machine) copykit.Copier {
+	switch mech {
+	case "baseline":
+		return copykit.Eager{}
+	case "zio":
+		return zio.New(oskern.New(m))
+	case "mc2":
+		return copykit.Lazy{Threshold: 1024}
+	}
+	panic("unreachable: mech validated in main")
+}
+
+// printCounters prints the named counters that exist in the registry.
+func printCounters(reg *metrics.Registry, names ...string) {
+	snap := reg.Snapshot()
+	var parts []string
+	for _, n := range names {
+		if v, ok := snap.Get(n); ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", n, v.Count))
+		}
+	}
+	fmt.Printf("  %s\n", strings.Join(parts, " "))
+}
+
+// writeStats dumps a snapshot as JSON to path ("-" = stdout).
+func writeStats(path string, s *metrics.Snapshot) error {
+	if path == "-" {
+		return s.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func usageErr(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "usage: mcsim -workload <name> -mech <name> [flags]; mcsim -list shows valid values")
+	os.Exit(2)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,31 @@
+package cache
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the hierarchy's counters, split into the l1,
+// l2 and cache (whole-hierarchy operations) namespaces. Called by the
+// machine with its root scope.
+func (h *Hierarchy) PublishMetrics(s metrics.Scope) {
+	l1 := s.Scope("l1")
+	l1.Counter("hits", &h.Stats.L1Hits)
+	l1.Counter("misses", &h.Stats.L1Misses)
+	l1.Counter("evictions", &h.Stats.L1Evictions)
+	l1.Counter("mshr_stalls", &h.Stats.MSHRStalls)
+
+	l2 := s.Scope("l2")
+	l2.Counter("hits", &h.Stats.L2Hits)
+	l2.Counter("misses", &h.Stats.L2Misses)
+	l2.Counter("evictions", &h.Stats.L2Evictions)
+	l2.Counter("writebacks", &h.Stats.L2Writebacks)
+	l2.Counter("cross_core_pulls", &h.Stats.CrossCorePulls)
+
+	ca := s.Scope("cache")
+	ca.Counter("clwbs", &h.Stats.CLWBs)
+	ca.Counter("clwb_dirty", &h.Stats.CLWBDirty)
+	ca.Counter("nt_stores", &h.Stats.NTStores)
+	ca.Counter("invalidations", &h.Stats.Invalidations)
+	ca.Counter("flushed_lines", &h.Stats.FlushedLines)
+	ca.Counter("prefetches_issued", &h.Stats.PrefetchesIssued)
+	ca.Counter("prefetches_duplicate", &h.Stats.PrefetchesDuplicate)
+	ca.Counter("cancelled_fills", &h.Stats.CancelledFills)
+}

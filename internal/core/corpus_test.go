@@ -337,6 +337,31 @@ func TestCorpusReplay(t *testing.T) {
 	}
 }
 
+// TestCorpusCoversWPQWritebackReject pins the corpus's coverage of the
+// WPQ rejection path: the wpq-writeback-reject program (wpqfrac 0) must
+// actually refuse bounce writebacks, or a future edit could silently turn
+// it into a no-op for the failure mode it exists to exercise.
+func TestCorpusCoversWPQWritebackReject(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "corpus", "wpq-writeback-reject.ops"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parseProgram("wpq-writeback-reject", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, failure := runProgram(t, prog)
+	if failure != "" {
+		t.Fatalf("replay diverged: %s", failure)
+	}
+	if r.lazy.Stats.WritebackRejects == 0 {
+		t.Fatal("program did not exercise WritebackRejects; WPQ rejection path uncovered")
+	}
+	if r.lazy.Stats.Bounces < 2 {
+		t.Fatalf("Bounces = %d; rejected writebacks should force repeated bounces", r.lazy.Stats.Bounces)
+	}
+}
+
 // TestProgramRoundTrip: String and parseProgram are inverses, so persisted
 // failures replay the exact op sequence that failed.
 func TestProgramRoundTrip(t *testing.T) {

@@ -1,0 +1,40 @@
+package core
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the lazy-copy engine's counters under the
+// "engine" namespace and the copy tracking table's under "ctt". Called by
+// the machine with its root scope.
+func (e *Engine) PublishMetrics(s metrics.Scope) {
+	en := s.Scope("engine")
+	en.Counter("lazy_ops", &e.Stats.LazyOps)
+	en.Counter("lazy_bytes", &e.Stats.LazyBytes)
+	en.Counter("lazy_stalls_full", &e.Stats.LazyStallsFull)
+	en.Counter("lazy_stalls_bpq", &e.Stats.LazyStallsBPQ)
+	en.Counter("lazy_stall_cycles", &e.Stats.LazyStallCycles)
+	en.Counter("bounces", &e.Stats.Bounces)
+	en.Counter("bounce_src_reads", &e.Stats.BounceSrcReads)
+	en.Counter("bounce_writebacks", &e.Stats.BounceWritebacks)
+	en.Counter("writeback_rejects", &e.Stats.WritebackRejects)
+	en.Counter("mem_fills", &e.Stats.MemFills)
+	en.Counter("bpq_holds", &e.Stats.BPQHolds)
+	en.Counter("bpq_merges", &e.Stats.BPQMerges)
+	en.Counter("bpq_forwards", &e.Stats.BPQForwards)
+	en.Counter("bpq_stalls_full", &e.Stats.BPQStallsFull)
+	en.Counter("bpq_copies", &e.Stats.BPQCopies)
+	en.Counter("dropped_internal", &e.Stats.DroppedInternal)
+	en.Counter("frees", &e.Stats.Frees)
+	en.Counter("freed_bytes", &e.Stats.FreedBytes)
+	en.Counter("mcfrees", &e.Stats.MCFrees)
+
+	ct := s.Scope("ctt")
+	ct.Counter("inserts", &e.ctt.Stats.Inserts)
+	ct.Counter("pieces", &e.ctt.Stats.Pieces)
+	ct.Counter("merges", &e.ctt.Stats.Merges)
+	ct.Counter("collapses", &e.ctt.Stats.Collapses)
+	ct.Counter("identities", &e.ctt.Stats.Identities)
+	ct.Counter("trims", &e.ctt.Stats.Trims)
+	ct.Counter("removed", &e.ctt.Stats.Removed)
+	ct.Gauge("high_water", func() float64 { return float64(e.ctt.Stats.HighWater) })
+	ct.Gauge("entries", func() float64 { return float64(e.ctt.Len()) })
+}

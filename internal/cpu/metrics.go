@@ -1,0 +1,20 @@
+package cpu
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the core's counters under the given scope (the
+// machine uses "cpu<ID>").
+func (c *Core) PublishMetrics(s metrics.Scope) {
+	s.Counter("loads", &c.Stats.Loads)
+	s.Counter("stores", &c.Stats.Stores)
+	s.Counter("clwbs", &c.Stats.CLWBs)
+	s.Counter("nt_stores", &c.Stats.NTStores)
+	s.Counter("mclazies", &c.Stats.MCLazies)
+	s.Counter("mcfrees", &c.Stats.MCFrees)
+	s.Counter("fences", &c.Stats.Fences)
+	s.Counter("issue_cycles", &c.Stats.IssueCycles)
+	s.Counter("window_stall", &c.Stats.WindowStall)
+	s.Counter("dep_stall", &c.Stats.DepStall)
+	s.Counter("fence_stall", &c.Stats.FenceStall)
+	s.Counter("compute_cycles", &c.Stats.ComputeCycle)
+}

@@ -1,0 +1,12 @@
+package dram
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the channel's counters under the given scope
+// (the machine uses "dram<i>").
+func (c *Channel) PublishMetrics(s metrics.Scope) {
+	s.Counter("reads", &c.Reads)
+	s.Counter("writes", &c.Writes)
+	s.Counter("row_hits", &c.RowHits)
+	s.Counter("row_misses", &c.RowMisses)
+}

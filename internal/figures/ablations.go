@@ -50,7 +50,7 @@ func ablMergeVariant(disable bool) *stats.Table {
 	if disable {
 		name = "merge_off"
 	}
-	tb.AddRow(name, dur, m.Lazy.CTT().Stats.HighWater, m.Lazy.CTT().Stats.Pieces)
+	tb.AddRow(name, dur, m.Metrics.GaugeValue("ctt.high_water"), m.Metrics.CounterValue("ctt.pieces"))
 	return tb
 }
 
@@ -172,9 +172,9 @@ func Pollution(o Options) []*stats.Table {
 			dur = uint64(c.Now() - t0)
 			// Re-walk the working set; L2 misses measure what the copy
 			// evicted (L1 misses are inevitable for a 1 MB set).
-			m0 := m.Hier.Stats.L2Misses
+			before := m.Metrics.Snapshot()
 			m.Warm(c, memdata.Range{Start: ws, Size: wsSize})
-			misses = m.Hier.Stats.L2Misses - m0
+			misses = m.Metrics.Snapshot().Delta(before).Counter("l2.misses")
 		})
 		name := "memcpy"
 		if lazy {

@@ -434,7 +434,7 @@ func figure20Cell(o Options, e int, th float64) *stats.Table {
 	})
 	res := protobuf.Run(m, o.protoCfg(copykit.Lazy{Threshold: 1024}))
 	tb := stats.NewTable("Figure 20 cell", "entries", "threshold", "runtime_ms", "stall_cycles")
-	tb.AddRow(e, th, stats.CyclesToMs(uint64(res.Cycles)), float64(m.Lazy.Stats.LazyStallCycles))
+	tb.AddRow(e, th, stats.CyclesToMs(uint64(res.Cycles)), float64(m.Metrics.CounterValue("engine.lazy_stall_cycles")))
 	return tb
 }
 

@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/metrics"
+	"mcsquare/internal/oskern"
+	"mcsquare/internal/workloads/protobuf"
+	"mcsquare/internal/zio"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// TestMachineMetricsGolden pins the metric names AND values of one small
+// deterministic figure cell (the quick Protobuf/(MC)² run every figure-14
+// and figure-20 datapoint is built from), so namespace renames and
+// accounting changes are deliberate: run `go test ./internal/figures
+// -run Golden -update` after an intentional change.
+func TestMachineMetricsGolden(t *testing.T) {
+	m := protobuf.NewMachine(true, nil)
+	// Register the OS-level components too, so their namespaces (oskern,
+	// zio) are part of the pinned name set even though this cell only
+	// drives the lazy copier through them implicitly.
+	z := zio.New(oskern.New(m))
+	_ = z
+	protobuf.Run(m, Options{Quick: true}.protoCfg(copykit.Lazy{Threshold: 1024}))
+
+	snap := m.Metrics.Snapshot()
+	var b strings.Builder
+	for _, name := range snap.Names() {
+		v := snap.Values[name]
+		switch v.Kind {
+		case metrics.KindCounter:
+			fmt.Fprintf(&b, "%s counter %d\n", name, v.Count)
+		case metrics.KindGauge:
+			fmt.Fprintf(&b, "%s gauge %g\n", name, v.Value)
+		case metrics.KindHistogram:
+			fmt.Fprintf(&b, "%s histogram n=%d sum=%g\n", name, v.Count, v.Value)
+		}
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d metrics)", golden, len(snap.Values))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metrics diverge from %s (rerun with -update if intentional):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff, enough to spot the renamed or
+// re-valued metric without a dependency.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	seen := make(map[string]bool, len(w))
+	for _, l := range w {
+		seen[l] = true
+	}
+	inGot := make(map[string]bool, len(g))
+	for _, l := range g {
+		inGot[l] = true
+		if !seen[l] && l != "" {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range w {
+		if !inGot[l] && l != "" {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	return b.String()
+}

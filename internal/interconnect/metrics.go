@@ -1,0 +1,12 @@
+package interconnect
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the link's counters under the given scope (the
+// machine uses "xcon").
+func (b *Bus) PublishMetrics(s metrics.Scope) {
+	s.Counter("messages", &b.Stats.Messages)
+	s.Counter("bytes", &b.Stats.Bytes)
+	s.Counter("broadcasts", &b.Stats.Broadcasts)
+	s.Counter("queue_cycles", &b.Stats.QueueCycles)
+}

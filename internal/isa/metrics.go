@@ -1,0 +1,13 @@
+package isa
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the instruction unit's counters under the
+// given scope (the machine uses "isa").
+func (u *Unit) PublishMetrics(s metrics.Scope) {
+	s.Counter("mclazies", &u.Stats.MCLazies)
+	s.Counter("mcfrees", &u.Stats.MCFrees)
+	s.Counter("dest_invalidated", &u.Stats.DestInvalidated)
+	s.Counter("src_flushed", &u.Stats.SrcFlushed)
+	s.Counter("packet_cycles", &u.Stats.PacketCycles)
+}

@@ -16,6 +16,7 @@ import (
 	"mcsquare/internal/isa"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
 )
 
@@ -71,6 +72,13 @@ type Machine struct {
 	ISA    *isa.Unit    // nil when LazyEnabled is false
 	Cores  []*cpu.Core
 
+	// Metrics is the machine's registry: every component above publishes
+	// its counters here at construction, under the namespaces documented
+	// in DESIGN.md (cpu<i>, l1, l2, cache, xcon, mc<i>, dram<i>, engine,
+	// ctt, isa, sim). Components added after construction (oskern, zio)
+	// register themselves in their own constructors.
+	Metrics *metrics.Registry
+
 	brk memdata.Addr // bump allocator watermark
 }
 
@@ -113,6 +121,34 @@ func New(p Params) *Machine {
 	}
 	for i := 0; i < p.Cores; i++ {
 		m.Cores = append(m.Cores, cpu.New(i, p.CPU, m.Hier, issuer))
+	}
+
+	m.Metrics = metrics.NewRegistry()
+	root := m.Metrics.Scope("")
+	for i, ch := range m.Chans {
+		ch.PublishMetrics(root.Scope(fmt.Sprintf("dram%d", i)))
+	}
+	for i, mc := range m.MCs {
+		mc.PublishMetrics(root.Scope(fmt.Sprintf("mc%d", i)))
+	}
+	bus.PublishMetrics(root.Scope("xcon"))
+	m.Hier.PublishMetrics(root)
+	if p.LazyEnabled {
+		m.Lazy.PublishMetrics(root)
+		m.ISA.PublishMetrics(root.Scope("isa"))
+	}
+	for i, c := range m.Cores {
+		c.PublishMetrics(root.Scope(fmt.Sprintf("cpu%d", i)))
+	}
+	// sim.cycles is the machine's exact simulated-cycle count; the runner
+	// sums it across a job's machines for exact per-job attribution.
+	m.Metrics.CounterFunc("sim.cycles", func() uint64 { return uint64(m.Eng.Now()) })
+
+	// A runner job (or mcsim -stats) binds a metrics.Collector to its
+	// goroutine; every machine built inside hands over its registry so the
+	// caller can snapshot all of them without plumbing.
+	if c := metrics.AmbientCollector(); c != nil {
+		c.Add(m.Metrics)
 	}
 	return m
 }

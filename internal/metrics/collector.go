@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Collector gathers the registries of every machine built while it is
+// bound, without the builder having to thread anything through ~30
+// workload call sites: the runner binds a collector around a job, and
+// machine.New hands its registry to AmbientCollector(). Summing the
+// collected "sim.cycles" counters afterwards gives exact per-job cycle
+// attribution — the replacement for sampling the process-wide total.
+type Collector struct {
+	mu   sync.Mutex
+	regs []*Registry
+}
+
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records a registry. Safe to call from any goroutine.
+func (c *Collector) Add(r *Registry) {
+	c.mu.Lock()
+	c.regs = append(c.regs, r)
+	c.mu.Unlock()
+}
+
+// Registries returns the collected registries in registration order.
+func (c *Collector) Registries() []*Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Registry(nil), c.regs...)
+}
+
+// Snapshot merges a snapshot of every collected registry: same-named
+// metrics (cpu0.loads on two machines) sum, which is the per-job
+// aggregate the runner reports.
+func (c *Collector) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	for _, r := range c.Registries() {
+		s.Merge(r.Snapshot())
+	}
+	return s
+}
+
+// ambient maps goroutine id → bound collector. Bind/lookup happen only at
+// job boundaries and machine construction, never per event, so a plain
+// mutexed map is fine.
+var (
+	ambientMu sync.Mutex
+	ambient   = map[uint64]*Collector{}
+)
+
+// Bind attaches c to the calling goroutine and returns a release func
+// that restores whatever was bound before. Machines built on this
+// goroutine between Bind and release register themselves with c.
+func (c *Collector) Bind() (release func()) {
+	id := goid()
+	ambientMu.Lock()
+	prev, had := ambient[id]
+	ambient[id] = c
+	ambientMu.Unlock()
+	return func() {
+		ambientMu.Lock()
+		if had {
+			ambient[id] = prev
+		} else {
+			delete(ambient, id)
+		}
+		ambientMu.Unlock()
+	}
+}
+
+// AmbientCollector returns the collector bound to the calling goroutine,
+// or nil if none is.
+func AmbientCollector() *Collector {
+	id := goid()
+	ambientMu.Lock()
+	c := ambient[id]
+	ambientMu.Unlock()
+	return c
+}
+
+// goid parses the calling goroutine's id from its stack header
+// ("goroutine 123 [running]:"). Called only at bind points and machine
+// construction; the few-microsecond cost is irrelevant there.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic("metrics: cannot parse goroutine id from stack header")
+	}
+	return id
+}

@@ -149,6 +149,7 @@ func (as *AddressSpace) cowFault(c *cpu.Core, pg *vpage) {
 	pg.sh = nil
 	pg.phys = newPhys
 	as.k.Stats.FaultCycles += uint64(c.Now() - start)
+	as.k.FaultLat.Add(float64(c.Now() - start))
 }
 
 // Store writes data at virtual address v (may cross page boundaries).

@@ -11,7 +11,9 @@ package oskern
 
 import (
 	"mcsquare/internal/machine"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
 )
 
 // Params is the kernel cost model (cycles at 4 GHz).
@@ -61,9 +63,27 @@ type Kernel struct {
 	FreePipeBuffers bool
 
 	Stats Stats
+	// FaultLat samples per-COW-fault latency in cycles.
+	FaultLat stats.Histogram
 }
 
-// New creates a kernel over the machine with default costs.
+// New creates a kernel over the machine with default costs and publishes
+// its counters into the machine's registry under "oskern". At most one
+// kernel exists per machine, so the registration cannot collide.
 func New(m *machine.Machine) *Kernel {
-	return &Kernel{M: m, P: DefaultParams()}
+	k := &Kernel{M: m, P: DefaultParams()}
+	k.PublishMetrics(m.Metrics.Scope("oskern"))
+	return k
+}
+
+// PublishMetrics registers the kernel's counters under the given scope.
+func (k *Kernel) PublishMetrics(s metrics.Scope) {
+	s.Counter("forks", &k.Stats.Forks)
+	s.Counter("cow_faults", &k.Stats.COWFaults)
+	s.Counter("huge_cow_faults", &k.Stats.HugeCOWFaults)
+	s.Counter("pipe_writes", &k.Stats.PipeWrites)
+	s.Counter("pipe_reads", &k.Stats.PipeReads)
+	s.Counter("syscalls", &k.Stats.Syscalls)
+	s.Counter("fault_cycles", &k.Stats.FaultCycles)
+	s.Histogram("fault_latency", &k.FaultLat)
 }

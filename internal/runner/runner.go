@@ -17,7 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mcsquare/internal/sim"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/stats"
 )
 
@@ -38,10 +38,16 @@ type Job struct {
 
 // Metrics records per-job cost, reported on the progress line.
 type Metrics struct {
-	Wall      time.Duration
-	SimCycles uint64 // simulated cycles; exact attribution with 1 worker, process-total sampling otherwise
-	PeakRows  int    // rows in the job's largest table
+	Wall time.Duration
+	// SimCycles is the exact number of cycles simulated by this job: the
+	// sum of sim.cycles over every machine the job built, read from the
+	// job's collected registries (no process-global sampling involved).
+	SimCycles uint64
+	PeakRows  int // rows in the job's largest table
 	NumTables int
+	// Snapshot merges the final metrics of every machine the job built
+	// (same-named metrics sum). Nil only if the job built none.
+	Snapshot *metrics.Snapshot
 }
 
 // Result pairs a job with its output. Results are returned in submission
@@ -124,17 +130,27 @@ func Run(cfg Config, jobs []Job) []Result {
 }
 
 // runOne executes a single job, capturing metrics and recovering panics.
+// A collector bound to the worker goroutine gathers the registry of every
+// machine the job builds; snapshotting them afterwards yields the job's
+// metrics and its exact simulated-cycle count, even with concurrent
+// neighbors (which the old global-counter delta could not attribute).
 func runOne(index int, job Job, o Options) (res Result) {
 	res = Result{ID: job.ID, Index: index}
 	start := time.Now()
-	cyc0 := sim.SimulatedCycles()
+	col := metrics.NewCollector()
+	release := col.Bind()
 	defer func() {
-		res.Metrics.Wall = time.Since(start)
-		res.Metrics.SimCycles = sim.SimulatedCycles() - cyc0
+		release()
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("job %s panicked: %v", job.ID, p)
 			res.Tables = nil
 		}
+		if regs := col.Registries(); len(regs) > 0 {
+			snap := col.Snapshot()
+			res.Metrics.Snapshot = snap
+			res.Metrics.SimCycles = snap.Counter("sim.cycles")
+		}
+		res.Metrics.Wall = time.Since(start)
 	}()
 	res.Tables = job.Run(o)
 	res.Metrics.NumTables = len(res.Tables)

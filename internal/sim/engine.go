@@ -14,15 +14,16 @@ import (
 )
 
 // totalCycles accumulates simulated cycles across every engine in the
-// process. Engines flush their progress when they finish running (Drain,
-// RunUntil), so the counter is cheap to maintain and safe to read from
-// other goroutines (the experiment runner samples it for progress metrics).
+// process, backing the SimulatedCycles compatibility shim. Engines flush
+// their progress when they finish running (Drain, RunUntil), so the
+// counter is cheap to maintain and safe to read from other goroutines.
 var totalCycles atomic.Uint64
 
 // SimulatedCycles returns the total simulated cycles executed by all
-// engines so far. With several engines running on concurrent goroutines the
-// per-caller attribution is approximate, but the process-wide total is
-// exact once every engine has drained.
+// engines so far. It is a compatibility shim for coarse progress
+// reporting only: per-engine counts are published as the "sim.cycles"
+// metric in each machine's metrics registry, which is what the
+// experiment runner sums for exact per-job attribution.
 func SimulatedCycles() uint64 { return totalCycles.Load() }
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.

@@ -28,6 +28,15 @@ func (h *Histogram) Add(v float64) {
 // N returns the number of samples.
 func (h *Histogram) N() int { return len(h.samples) }
 
+// Sum returns the sum of all samples (0 with no samples).
+func (h *Histogram) Sum() float64 {
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum
+}
+
 // Mean returns the arithmetic mean (0 with no samples).
 func (h *Histogram) Mean() float64 {
 	if len(h.samples) == 0 {

@@ -89,6 +89,6 @@ func Run(cfg Config) Result {
 			res.Latencies.Add(float64(c.Now() - t0))
 		}
 	})
-	res.COWFaults = k.Stats.HugeCOWFaults
+	res.COWFaults = k.M.Metrics.CounterValue("oskern.huge_cow_faults")
 	return res
 }

@@ -10,6 +10,7 @@
 package protobuf
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mcsquare/internal/copykit"
@@ -99,6 +100,14 @@ func Run(m *machine.Machine, cfg Config) Result {
 	}
 
 	m.Run(func(c *cpu.Core) {
+		// Per-copy interval accounting reads single named metrics from the
+		// machine registry (a full Snapshot per copy would be wasteful).
+		pre := fmt.Sprintf("cpu%d.", c.ID)
+		cnt := m.Metrics.CounterValue
+		accesses := func() uint64 { return cnt(pre+"loads") + cnt(pre+"stores") }
+		stalls := func() uint64 {
+			return cnt(pre+"window_stall") + cnt(pre+"fence_stall") + cnt(pre+"dep_stall")
+		}
 		start := c.Now()
 		opsLeft := cfg.Ops
 		for opsLeft > 0 {
@@ -119,16 +128,16 @@ func Run(m *machine.Machine, cfg Config) Result {
 					res.Copies++
 					res.CopiedByte += size
 
-					acc0, miss0 := c.Stats.Loads+c.Stats.Stores, m.Hier.Stats.L1Misses
-					stall0 := c.Stats.WindowStall + c.Stats.FenceStall + c.Stats.DepStall
-					issue0 := c.Stats.IssueCycles
+					acc0, miss0 := accesses(), cnt("l1.misses")
+					stall0 := stalls()
+					issue0 := cnt(pre + "issue_cycles")
 					t0 := c.Now()
 					cfg.Copier.Memcpy(c, cursor, src, size)
 					res.CopyCycles += uint64(c.Now() - t0)
-					res.CopyAccesses += c.Stats.Loads + c.Stats.Stores - acc0
-					res.CopyL1Misses += m.Hier.Stats.L1Misses - miss0
-					res.CopyWindowStl += c.Stats.WindowStall + c.Stats.FenceStall + c.Stats.DepStall - stall0
-					res.CopyIssue += c.Stats.IssueCycles - issue0
+					res.CopyAccesses += accesses() - acc0
+					res.CopyL1Misses += cnt("l1.misses") - miss0
+					res.CopyWindowStl += stalls() - stall0
+					res.CopyIssue += cnt(pre+"issue_cycles") - issue0
 
 					merged[op] = append(merged[op], field{off: cursor, size: size})
 					cursor += memdata.Addr(size)

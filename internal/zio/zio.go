@@ -18,6 +18,7 @@ import (
 	"mcsquare/internal/copykit"
 	"mcsquare/internal/cpu"
 	"mcsquare/internal/memdata"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/oskern"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/softmc"
@@ -73,14 +74,29 @@ type Copier struct {
 
 var _ copykit.Copier = (*Copier)(nil)
 
-// New creates a zIO copier over the kernel's machine.
+// New creates a zIO copier over the kernel's machine and publishes its
+// counters into the machine's registry under "zio" (one copier per
+// machine, like the kernel itself).
 func New(k *oskern.Kernel) *Copier {
-	return &Copier{
+	z := &Copier{
 		K:      k,
 		P:      DefaultParams(),
 		elided: map[memdata.Addr]memdata.Addr{},
 		deps:   map[memdata.Addr][]memdata.Addr{},
 	}
+	z.PublishMetrics(k.M.Metrics.Scope("zio"))
+	return z
+}
+
+// PublishMetrics registers the copier's counters under the given scope.
+func (z *Copier) PublishMetrics(s metrics.Scope) {
+	s.Counter("elide_calls", &z.Stats.ElideCalls)
+	s.Counter("elided_pages", &z.Stats.ElidedPages)
+	s.Counter("eager_calls", &z.Stats.EagerCalls)
+	s.Counter("faults", &z.Stats.Faults)
+	s.Counter("fault_cycles", &z.Stats.FaultCycles)
+	s.Counter("redirects", &z.Stats.Redirects)
+	s.Counter("src_barriers", &z.Stats.SrcBarriers)
 }
 
 // Name implements copykit.Copier.
