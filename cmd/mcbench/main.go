@@ -1,0 +1,105 @@
+// Command mcbench runs the repository's performance harness: engine
+// microbenchmarks plus a fixed figure-workload suite, emitting a
+// BENCH_sim.json report (ns/op, allocs/op, events/sec, wall-clock).
+//
+//	mcbench                     # full run, writes BENCH_sim.json
+//	mcbench -quick              # quick-scale workloads (CI smoke)
+//	mcbench -only 'engine/'     # filter by regexp
+//	mcbench -micro / -workloads # run only one half
+//	mcbench -baseline old.json  # print deltas against a recorded run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"mcsquare/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_sim.json", "output JSON path (empty to skip)")
+		quick     = flag.Bool("quick", false, "run workloads at quick scale")
+		only      = flag.String("only", "", "regexp filter on benchmark names")
+		microOnly = flag.Bool("micro", false, "run only the engine microbenchmarks")
+		wlOnly    = flag.Bool("workloads", false, "run only the figure-workload suite")
+		baseline  = flag.String("baseline", "", "compare against a previously recorded BENCH_sim.json")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	var filter *regexp.Regexp
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: bad -only regexp: %v\n", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+
+	var results []bench.Result
+	if !*wlOnly {
+		fmt.Println("# engine microbenchmarks")
+		results = append(results, bench.EngineMicro(filter, os.Stdout)...)
+	}
+	if !*microOnly {
+		fmt.Println("# figure-workload suite")
+		results = append(results, bench.Workloads(*quick, filter, os.Stdout)...)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "mcbench: no benchmarks matched")
+		os.Exit(1)
+	}
+
+	report := bench.NewReport(*quick, results)
+	if *out != "" {
+		if err := bench.WriteJSON(*out, report); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+	}
+
+	if *baseline != "" {
+		base, err := bench.ReadJSON(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		printDeltas(base, report)
+	}
+}
+
+// printDeltas reports per-benchmark changes versus a recorded baseline.
+func printDeltas(base, cur *bench.Report) {
+	byName := map[string]bench.Result{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("# vs baseline (%s/%s, %s)\n", base.GOOS, base.GOARCH, base.GoVersion)
+	for _, r := range cur.Results {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-28s (new)\n", r.Name)
+			continue
+		}
+		fmt.Printf("%-28s ns/op %+7.1f%%  allocs/op %+7.1f%%\n",
+			r.Name, pct(r.NsPerOp, b.NsPerOp), pct(r.AllocsPerOp, b.AllocsPerOp))
+	}
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (cur - base) / base
+}

@@ -1,0 +1,305 @@
+// Package bench is the repository's performance harness. It measures two
+// things and emits them as one JSON report (BENCH_sim.json):
+//
+//   - engine microbenchmarks: host-side cost of the discrete-event core's
+//     hot operations (heap churn, the same-cycle fast path, process
+//     wakeups), via testing.Benchmark, with ns/op and allocs/op;
+//   - a fixed figure-workload suite: wall-clock, simulated events/sec and
+//     cycles/sec for a subset of the paper's figure generators.
+//
+// The report is the baseline future optimization PRs regress against:
+// results/BENCH_sim_pre.json pins the numbers recorded before the event-
+// core overhaul, and CI runs a quick sweep on every push. Host-absolute
+// numbers vary by machine; the allocs/op columns and the relative deltas
+// between runs on one machine are the signal.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcsquare/internal/figures"
+	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
+)
+
+// Result is one benchmark measurement. Microbenchmarks fill the per-op
+// fields; workload runs are one-shot (Iterations == 1) and additionally
+// report simulator throughput.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	SimEvents    uint64  `json:"sim_events,omitempty"`
+	SimCycles    uint64  `json:"sim_cycles,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	Schema    int      `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Quick     bool     `json:"quick"`
+	Results   []Result `json:"results"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func WriteJSON(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a report written by WriteJSON.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Engine microbenchmarks
+// ---------------------------------------------------------------------------
+
+func nop() {}
+
+// benchHeapChurn measures raw queue throughput: push b.N events at
+// pseudorandom future offsets, then pop them all. One op = one event
+// through the queue.
+func benchHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	rng := uint64(0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		e.After(sim.Cycle(rng>>52), nop) // offsets in [0, 4096)
+	}
+	for e.Step() {
+	}
+}
+
+// benchSameCycle measures the After(0, …) pattern used by Proc.Resume,
+// controller queue handoffs, and hook completions: a chain of same-cycle
+// events, each scheduling the next. One op = one schedule + dispatch.
+func benchSameCycle(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(0, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	for e.Step() {
+	}
+}
+
+// benchMixedQueue interleaves same-cycle and future events the way the
+// memory-system models do: every third event reschedules at a future
+// cycle, the rest complete same-cycle.
+func benchMixedQueue(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n >= b.N {
+			return
+		}
+		if n%3 == 0 {
+			e.After(7, step)
+		} else {
+			e.After(0, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	for e.Step() {
+	}
+}
+
+// benchProcWait measures the process wakeup path: one op = one
+// Wait(1) park + resume round trip (event schedule, two channel
+// handoffs, closure or pooled resume).
+func benchProcWait(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N
+	e := sim.NewEngine()
+	b.ResetTimer()
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Wait(1)
+		}
+	})
+	e.Drain()
+}
+
+// benchSuspendResume measures the Suspend/Resume handoff between two
+// processes: one op = one Resume of a suspended peer.
+func benchSuspendResume(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N
+	e := sim.NewEngine()
+	var worker *sim.Proc
+	b.ResetTimer()
+	worker = e.Go("worker", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Suspend()
+		}
+	})
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			worker.Resume()
+			p.Wait(1)
+		}
+	})
+	e.Drain()
+}
+
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+var microBenches = []microBench{
+	{"engine/heap-churn", benchHeapChurn},
+	{"engine/same-cycle-chain", benchSameCycle},
+	{"engine/mixed-queue", benchMixedQueue},
+	{"proc/wait-wakeup", benchProcWait},
+	{"proc/suspend-resume", benchSuspendResume},
+}
+
+// EngineMicro runs the engine microbenchmark suite, filtered by the
+// optional regexp, logging one line per result to log (if non-nil).
+func EngineMicro(filter *regexp.Regexp, log io.Writer) []Result {
+	var out []Result
+	for _, mb := range microBenches {
+		if filter != nil && !filter.MatchString(mb.name) {
+			continue
+		}
+		start := time.Now()
+		br := testing.Benchmark(mb.fn)
+		r := Result{
+			Name:        mb.name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: float64(br.AllocsPerOp()),
+			BytesPerOp:  float64(br.AllocedBytesPerOp()),
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		logResult(log, r)
+		out = append(out, r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure-workload suite
+// ---------------------------------------------------------------------------
+
+type workloadBench struct {
+	name string
+	gen  func(figures.Options) []*stats.Table
+}
+
+// The fixed suite: one bandwidth-bound microbenchmark figure, one
+// sequential-access sweep, and two application workloads — a spread of
+// event mixes without re-running the whole evaluation.
+var workloadBenches = []workloadBench{
+	{"fig10/copy-latency", figures.Figure10},
+	{"fig12/seq-access", figures.Figure12},
+	{"fig14/protobuf", figures.Figure14},
+	{"fig19/pipe", figures.Figure19},
+}
+
+// Workloads runs the figure-workload suite once each (they are full
+// simulations; wall-clock and simulated events/sec are the metrics, not
+// ns/op), filtered by the optional regexp.
+func Workloads(quick bool, filter *regexp.Regexp, log io.Writer) []Result {
+	o := figures.Options{Quick: quick}
+	var out []Result
+	for _, wb := range workloadBenches {
+		if filter != nil && !filter.MatchString(wb.name) {
+			continue
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		ev0, cy0 := sim.SimulatedEvents(), sim.SimulatedCycles()
+		start := time.Now()
+		wb.gen(o)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		ev, cy := sim.SimulatedEvents()-ev0, sim.SimulatedCycles()-cy0
+		r := Result{
+			Name:        wb.name,
+			Iterations:  1,
+			NsPerOp:     float64(wall.Nanoseconds()),
+			AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+			BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+			WallSeconds: wall.Seconds(),
+			SimEvents:   ev,
+			SimCycles:   cy,
+		}
+		if s := wall.Seconds(); s > 0 {
+			r.EventsPerSec = float64(ev) / s
+			r.CyclesPerSec = float64(cy) / s
+		}
+		logResult(log, r)
+		out = append(out, r)
+	}
+	return out
+}
+
+func logResult(w io.Writer, r Result) {
+	if w == nil {
+		return
+	}
+	line := fmt.Sprintf("%-28s %12.1f ns/op %10.1f allocs/op %12.0f B/op",
+		r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	if r.EventsPerSec > 0 {
+		line += fmt.Sprintf("  %8.2f Mev/s  %8.2f Mcyc/s", r.EventsPerSec/1e6, r.CyclesPerSec/1e6)
+	}
+	fmt.Fprintln(w, line)
+}
+
+// NewReport assembles a report with host metadata filled in.
+func NewReport(quick bool, results []Result) *Report {
+	return &Report{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+		Results:   results,
+	}
+}

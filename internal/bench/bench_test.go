@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := NewReport(true, []Result{
+		{Name: "engine/heap-churn", NsPerOp: 812.5, Iterations: 1000000},
+		{Name: "workload/fig10", WallSeconds: 1.25, SimEvents: 123456, SimCycles: 654321, EventsPerSec: 98765.4},
+	})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteJSON(path, rep); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(got.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost results: %d != %d", len(got.Results), len(rep.Results))
+	}
+	for i := range rep.Results {
+		if got.Results[i] != rep.Results[i] {
+			t.Fatalf("result %d mismatch: %+v != %+v", i, got.Results[i], rep.Results[i])
+		}
+	}
+	if got.GoVersion == "" || got.NumCPU == 0 || !got.Quick {
+		t.Fatal("report metadata missing after round trip")
+	}
+}
+
+// TestEngineMicroSmoke runs one microbench so CI exercises the harness
+// itself (benchmark construction, result conversion) without paying for a
+// full measurement run.
+func TestEngineMicroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short")
+	}
+	res := EngineMicro(regexp.MustCompile("same-cycle-chain"), nil)
+	if len(res) != 1 {
+		t.Fatalf("filter matched %d benchmarks, want 1", len(res))
+	}
+	if res[0].NsPerOp <= 0 || res[0].Iterations == 0 {
+		t.Fatalf("degenerate result: %+v", res[0])
+	}
+}

@@ -173,7 +173,8 @@ type Hierarchy struct {
 
 	mshrs      []map[memdata.Addr]*mshr // per core, demand misses
 	mshrUsed   []int
-	mshrQueue  [][]func() // deferred misses per core
+	mshrQueue  []sim.FnQueue // deferred misses per core
+	mshrPool   []*mshr       // retired mshr entries for reuse (waiter slices keep capacity)
 	pfInflight int
 	pfPending  map[memdata.Addr]*pfFlight // prefetches in flight (dedup + cancel)
 	pf         []*stridePF
@@ -204,7 +205,7 @@ func NewWithBus(eng *sim.Engine, cfg Config, route func(memdata.Addr) *memctrl.C
 		h.l1s = append(h.l1s, newArray(cfg.L1Size, cfg.L1Ways))
 		h.mshrs = append(h.mshrs, map[memdata.Addr]*mshr{})
 		h.mshrUsed = append(h.mshrUsed, 0)
-		h.mshrQueue = append(h.mshrQueue, nil)
+		h.mshrQueue = append(h.mshrQueue, sim.FnQueue{})
 		h.pf = append(h.pf, &stridePF{})
 	}
 	return h
@@ -243,6 +244,29 @@ func (h *Hierarchy) Read(core int, a memdata.Addr, done func(data []byte)) {
 	h.missToL2(core, a, done)
 }
 
+// getMSHR returns a recycled mshr entry (waiter slice capacity retained)
+// or a fresh one; putMSHR returns it once its fill completes. Misses are
+// the steady-state churn of every workload, so this keeps the miss path
+// free of per-access allocations after warmup.
+func (h *Hierarchy) getMSHR(done func(data []byte)) *mshr {
+	if n := len(h.mshrPool); n > 0 {
+		m := h.mshrPool[n-1]
+		h.mshrPool = h.mshrPool[:n-1]
+		m.cancelled = false
+		m.waiters = append(m.waiters, done)
+		return m
+	}
+	return &mshr{waiters: []func([]byte){done}}
+}
+
+func (h *Hierarchy) putMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = nil
+	}
+	m.waiters = m.waiters[:0]
+	h.mshrPool = append(h.mshrPool, m)
+}
+
 // missToL2 handles an L1 miss, merging concurrent misses to the same line
 // in the core's MSHR file and bounding outstanding misses.
 func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
@@ -252,11 +276,11 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
 	}
 	if h.mshrUsed[core] >= h.cfg.MSHRsPerCore {
 		h.Stats.MSHRStalls++
-		h.mshrQueue[core] = append(h.mshrQueue[core], func() { h.missToL2(core, a, done) })
+		h.mshrQueue[core].Push(func() { h.missToL2(core, a, done) })
 		return
 	}
 	h.mshrUsed[core]++
-	m := &mshr{waiters: []func([]byte){done}}
+	m := h.getMSHR(done)
 	h.mshrs[core][a] = m
 
 	h.eng.After(h.cfg.L1Latency+h.cfg.L2Latency, func() {
@@ -269,11 +293,12 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
 			for _, w := range m.waiters {
 				w(append([]byte(nil), data...))
 			}
-			if q := h.mshrQueue[core]; len(q) > 0 {
-				next := q[0]
-				h.mshrQueue[core] = q[1:]
-				next()
+			if h.mshrQueue[core].Len() > 0 {
+				h.mshrQueue[core].Pop()()
 			}
+			// m is unreferenced from here: the map entry is gone and the
+			// waiters have run. Recycle it.
+			h.putMSHR(m)
 		})
 	})
 }
@@ -417,7 +442,7 @@ func (h *Hierarchy) evictL2(cl *cacheLine) {
 func (h *Hierarchy) writebackToMemory(a memdata.Addr, data []byte) {
 	cp := append([]byte(nil), data...)
 	mc := h.route(a)
-	h.bus.Send(memdata.LineSize, func() { mc.WriteLine(a, cp, func() {}) })
+	h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(a, cp, func() {}) })
 }
 
 // ---------------------------------------------------------------------------
@@ -500,7 +525,7 @@ func (h *Hierarchy) WriteLineNT(core int, a memdata.Addr, data []byte, done func
 	cp := append([]byte(nil), data...)
 	mc := h.route(a)
 	h.eng.After(h.cfg.L1Latency, func() {
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLine(a, cp, done) })
+		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(a, cp, done) })
 	})
 }
 
@@ -579,7 +604,7 @@ func (h *Hierarchy) CLWB(core int, a memdata.Addr, done func()) {
 	}
 	mc := h.route(a)
 	h.eng.After(h.cfg.L1Latency+h.cfg.L2Latency, func() {
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLine(a, data, done) })
+		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(a, data, done) })
 	})
 }
 
@@ -649,7 +674,7 @@ func (h *Hierarchy) FlushRange(r memdata.Range, done func()) int {
 		remaining++
 		mc := h.route(l)
 		lcopy := l
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLine(lcopy, data, complete) })
+		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(lcopy, data, complete) })
 	}
 	h.eng.After(h.cfg.L2Latency, complete)
 	return dirty

@@ -82,7 +82,7 @@ type heldWrite struct {
 
 type bpq struct {
 	used    int
-	waiters []func()
+	waiters sim.FnQueue
 }
 
 type pendingLazy struct {
@@ -346,7 +346,7 @@ func (e *Engine) hookedWrite(a memdata.Addr, data []byte, release func(), useBPQ
 	if !e.ctt.HasSrcOverlap(lineRange(a)) {
 		e.ctt.RemoveDestRange(lineRange(a))
 		e.wakePending()
-		e.mcs[mc].RawWriteLine(a, data, release)
+		e.mcs[mc].RawWriteLineOwned(a, data, release)
 		return
 	}
 	if useBPQ {
@@ -408,7 +408,7 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, release fu
 		// The held line may itself have been a tracked destination.
 		e.ctt.RemoveDestRange(lr)
 		delete(e.held, a)
-		e.mcs[mc].RawWriteLine(a, hw.data, func() {})
+		e.mcs[mc].RawWriteLineOwned(a, hw.data, func() {})
 		if slotHeld {
 			e.releaseBPQ(mc)
 		}
@@ -457,15 +457,13 @@ func (e *Engine) acquireBPQ(mc int, fn func()) {
 		return
 	}
 	e.Stats.BPQStallsFull++
-	q.waiters = append(q.waiters, fn)
+	q.waiters.Push(fn)
 }
 
 func (e *Engine) releaseBPQ(mc int) {
 	q := &e.bpqs[mc]
-	if len(q.waiters) > 0 {
-		next := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		next()
+	if q.waiters.Len() > 0 {
+		q.waiters.Pop()()
 		return
 	}
 	q.used--

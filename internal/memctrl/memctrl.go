@@ -80,10 +80,11 @@ type Controller struct {
 	hook Hook
 
 	rpqUsed     int
-	rpqWaiters  []func()
+	rpqWaiters  sim.FnQueue
 	wpqUsed     int
-	wpqWaiters  []func()
+	wpqWaiters  sim.FnQueue
 	writeBuf    []pendingWrite          // accepted, not yet issued to DRAM
+	wbHead      int                     // writeBuf dequeue index (backing array reused)
 	inFlightWr  map[memdata.Addr][]byte // issued to DRAM, not yet landed
 	pendingRead int                     // reads currently queued or in DRAM
 
@@ -108,8 +109,15 @@ func (c *Controller) SetHook(h Hook) { c.hook = h }
 // Channel returns the controller's DRAM channel (for stats).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
-// WPQOccupancy returns the fraction of WPQ slots in use, in [0,1].
+// WPQOccupancy returns the fraction of WPQ slots in use, in [0,1]. A
+// controller configured with no WPQ reports 1.0 (full): occupancy feeds
+// hook throttling decisions (writeback rejection, free-worker pacing),
+// and the old 0/0 NaN compared false everywhere, silently disabling
+// throttling exactly when the queue could absorb nothing.
 func (c *Controller) WPQOccupancy() float64 {
+	if c.cfg.WPQCapacity <= 0 {
+		return 1.0
+	}
 	return float64(c.wpqUsed) / float64(c.cfg.WPQCapacity)
 }
 
@@ -191,16 +199,41 @@ func (c *Controller) WriteLine(a memdata.Addr, data []byte, release func()) {
 	c.RawWriteLine(a, data, release)
 }
 
+// WriteLineOwned is WriteLine with ownership transfer: the caller hands
+// the line buffer over and must not reuse or mutate it afterwards. The
+// write paths that already build a private copy (cache writebacks, NT
+// stores, CLWB, reconstructed (MC)² lines) use this to skip the
+// controller's defensive copy — one 64-byte allocation per write on the
+// hottest store path. Hook implementations observe the data during the
+// FilterWrite call and must copy anything they keep (they do).
+func (c *Controller) WriteLineOwned(a memdata.Addr, data []byte, release func()) {
+	if c.hook != nil && c.hook.FilterWrite(a, data, release) {
+		return
+	}
+	c.RawWriteLineOwned(a, data, release)
+}
+
 // RawWriteLine is WriteLine without hook interception.
 func (c *Controller) RawWriteLine(a memdata.Addr, data []byte, release func()) {
 	if len(data) != memdata.LineSize {
 		panic("memctrl: WriteLine with partial line")
 	}
-	c.Stats.Writes++
 	cp := make([]byte, memdata.LineSize)
 	copy(cp, data)
+	c.RawWriteLineOwned(a, cp, release)
+}
+
+// RawWriteLineOwned is RawWriteLine with ownership transfer (see
+// WriteLineOwned). The buffer may still be read through write-forwarding
+// until the write lands, which is safe precisely because nobody mutates
+// it after the handoff.
+func (c *Controller) RawWriteLineOwned(a memdata.Addr, data []byte, release func()) {
+	if len(data) != memdata.LineSize {
+		panic("memctrl: WriteLine with partial line")
+	}
+	c.Stats.Writes++
 	c.acquireWPQ(func() {
-		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: cp})
+		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: data})
 		c.eng.After(c.cfg.AcceptLatency, release)
 		c.maybeDrain()
 	})
@@ -222,7 +255,7 @@ func (c *Controller) TryRawWriteLine(a memdata.Addr, data []byte, frac float64) 
 // forward returns buffered/in-flight write data for a, or nil.
 func (c *Controller) forward(a memdata.Addr) []byte {
 	// Scan newest-first so the latest write wins.
-	for i := len(c.writeBuf) - 1; i >= 0; i-- {
+	for i := len(c.writeBuf) - 1; i >= c.wbHead; i-- {
 		if c.writeBuf[i].addr == a {
 			return c.writeBuf[i].data
 		}
@@ -233,6 +266,22 @@ func (c *Controller) forward(a memdata.Addr) []byte {
 	return nil
 }
 
+// buffered reports the writes accepted but not yet issued to DRAM.
+func (c *Controller) buffered() int { return len(c.writeBuf) - c.wbHead }
+
+// popWrite dequeues the oldest buffered write, reusing the backing array
+// once drained instead of reslicing capacity away.
+func (c *Controller) popWrite() pendingWrite {
+	w := c.writeBuf[c.wbHead]
+	c.writeBuf[c.wbHead] = pendingWrite{}
+	c.wbHead++
+	if c.wbHead == len(c.writeBuf) {
+		c.writeBuf = c.writeBuf[:0]
+		c.wbHead = 0
+	}
+	return w
+}
+
 func (c *Controller) acquireRPQ(fn func()) {
 	if c.rpqUsed < c.cfg.RPQCapacity {
 		c.rpqUsed++
@@ -240,14 +289,12 @@ func (c *Controller) acquireRPQ(fn func()) {
 		return
 	}
 	c.Stats.ReadStalls++
-	c.rpqWaiters = append(c.rpqWaiters, fn)
+	c.rpqWaiters.Push(fn)
 }
 
 func (c *Controller) releaseRPQ() {
-	if len(c.rpqWaiters) > 0 {
-		next := c.rpqWaiters[0]
-		c.rpqWaiters = c.rpqWaiters[1:]
-		next() // slot transfers directly
+	if c.rpqWaiters.Len() > 0 {
+		c.rpqWaiters.Pop()() // slot transfers directly
 		return
 	}
 	c.rpqUsed--
@@ -260,14 +307,12 @@ func (c *Controller) acquireWPQ(fn func()) {
 		return
 	}
 	c.Stats.WriteStalls++
-	c.wpqWaiters = append(c.wpqWaiters, fn)
+	c.wpqWaiters.Push(fn)
 }
 
 func (c *Controller) releaseWPQ() {
-	if len(c.wpqWaiters) > 0 {
-		next := c.wpqWaiters[0]
-		c.wpqWaiters = c.wpqWaiters[1:]
-		next()
+	if c.wpqWaiters.Len() > 0 {
+		c.wpqWaiters.Pop()()
 		return
 	}
 	c.wpqUsed--
@@ -279,17 +324,16 @@ func (c *Controller) releaseWPQ() {
 // back-to-back — the channel's bank/bus model pipelines them, so write
 // drains run at burst bandwidth like a real controller's write bursts.
 func (c *Controller) maybeDrain() {
-	high := len(c.writeBuf) >= c.cfg.DrainHigh
-	for len(c.writeBuf) > 0 {
+	high := c.buffered() >= c.cfg.DrainHigh
+	for c.buffered() > 0 {
 		idle := c.pendingRead == 0
 		if !high && !idle {
 			return
 		}
-		if high && !idle && len(c.writeBuf) <= c.cfg.DrainLow {
+		if high && !idle && c.buffered() <= c.cfg.DrainLow {
 			return
 		}
-		w := c.writeBuf[0]
-		c.writeBuf = c.writeBuf[1:]
+		w := c.popWrite()
 		c.inFlightWr[w.addr] = w.data
 		finish := c.ch.Access(c.eng.Now(), w.addr, true)
 		c.eng.At(finish, func() {
@@ -307,5 +351,5 @@ func (c *Controller) maybeDrain() {
 
 // Quiesce reports whether the controller has no queued or in-flight work.
 func (c *Controller) Quiesce() bool {
-	return c.rpqUsed == 0 && c.wpqUsed == 0 && len(c.writeBuf) == 0 && len(c.inFlightWr) == 0
+	return c.rpqUsed == 0 && c.wpqUsed == 0 && c.buffered() == 0 && len(c.inFlightWr) == 0
 }

@@ -257,3 +257,29 @@ func TestSnapshotReadCapturesAtIssue(t *testing.T) {
 		t.Fatalf("plain read returned %#x, want the forwarded new value 0x02", plain[0])
 	}
 }
+
+// TestWPQOccupancyZeroCapacity pins the divide-by-zero fix: a controller
+// configured with no write queue must report itself as full (1.0), not NaN.
+// NaN poisoned every threshold comparison downstream — `NaN >= frac` is
+// false, so throttling that should engage with a zero-capacity WPQ was
+// silently disabled instead.
+func TestWPQOccupancyZeroCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	phys := memdata.NewPhysical(1 << 20)
+	ch := dram.NewChannel(dram.DDR4Config())
+	cfg := DefaultConfig()
+	cfg.WPQCapacity = 0
+	mc := New(0, eng, cfg, ch, phys)
+
+	occ := mc.WPQOccupancy()
+	if occ != occ { // NaN check
+		t.Fatal("WPQOccupancy returned NaN for zero capacity")
+	}
+	if occ != 1.0 {
+		t.Fatalf("WPQOccupancy = %v with zero capacity, want 1.0 (full)", occ)
+	}
+	// The value must behave as "full" against the paper's 75% rule.
+	if !(occ >= 0.75) {
+		t.Fatal("zero-capacity occupancy does not trip threshold comparisons")
+	}
+}

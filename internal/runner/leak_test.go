@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
+)
+
+// TestRunClosesAbandonedEngines pins the parked-goroutine fix: a job
+// that abandons an engine with suspended processes (bounded run, early
+// return) must not leak those goroutines past the job boundary — the
+// runner closes every engine the job built.
+func TestRunClosesAbandonedEngines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var jobs []Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, Job{
+			ID: fmt.Sprintf("leak%d", i),
+			Run: func(o Options) []*stats.Table {
+				e := sim.NewEngine()
+				for j := 0; j < 4; j++ {
+					e.Go("parked", func(p *sim.Proc) { p.Suspend() })
+				}
+				e.RunUntil(100) // processes park; engine is then abandoned
+				return nil
+			},
+		})
+	}
+	results := Run(Config{Workers: 4}, jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.ID, r.Err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across jobs: %d before, %d after %d jobs",
+				before, runtime.NumGoroutine(), len(jobs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

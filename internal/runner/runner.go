@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mcsquare/internal/metrics"
+	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
 )
 
@@ -134,13 +135,20 @@ func Run(cfg Config, jobs []Job) []Result {
 // machine the job builds; snapshotting them afterwards yields the job's
 // metrics and its exact simulated-cycle count, even with concurrent
 // neighbors (which the old global-counter delta could not attribute).
+// An engine tracker bound the same way lets the runner Close every engine
+// the job built once it finishes: a job that abandons an engine mid-run
+// (bounded runs, panics) would otherwise leak one goroutine per process
+// still parked in it, accumulating across jobs.
 func runOne(index int, job Job, o Options) (res Result) {
 	res = Result{ID: job.ID, Index: index}
 	start := time.Now()
 	col := metrics.NewCollector()
 	release := col.Bind()
+	trk := sim.NewTracker()
+	releaseTrk := trk.Bind()
 	defer func() {
 		release()
+		releaseTrk()
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("job %s panicked: %v", job.ID, p)
 			res.Tables = nil
@@ -150,6 +158,7 @@ func runOne(index int, job Job, o Options) (res Result) {
 			res.Metrics.Snapshot = snap
 			res.Metrics.SimCycles = snap.Counter("sim.cycles")
 		}
+		trk.CloseAll()
 		res.Metrics.Wall = time.Since(start)
 	}()
 	res.Tables = job.Run(o)

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// refSched is a trivially-correct reference scheduler: a flat slice
+// scanned for the minimum (when, seq) on every pop. The randomized test
+// below drives it and the real engine with identical programs and
+// requires identical dispatch orders — pinning the split-queue engine
+// (heap + same-cycle FIFO) to the semantics of a single priority queue.
+type refSched struct {
+	now    Cycle
+	seq    uint64
+	events []event
+}
+
+func (r *refSched) at(when Cycle, fn func()) {
+	if when < r.now {
+		panic("ref: scheduling in the past")
+	}
+	r.seq++
+	r.events = append(r.events, event{when: when, seq: r.seq, fn: fn})
+}
+
+func (r *refSched) run() {
+	for len(r.events) > 0 {
+		best := 0
+		for i := 1; i < len(r.events); i++ {
+			if r.events[i].before(&r.events[best]) {
+				best = i
+			}
+		}
+		ev := r.events[best]
+		r.events = append(r.events[:best], r.events[best+1:]...)
+		r.now = ev.when
+		ev.fn()
+	}
+}
+
+// scheduler abstracts the engine vs the reference for the fuzz driver.
+type scheduler interface {
+	schedule(when Cycle, id int)
+	log() []int
+}
+
+type engineSched struct {
+	e     *Engine
+	rng   *rand.Rand
+	order []int
+	next  *int
+}
+
+func (s *engineSched) schedule(when Cycle, id int) {
+	s.e.At(when, func() { s.fire(id) })
+}
+
+func (s *engineSched) fire(id int) {
+	s.order = append(s.order, id)
+	spawnChildren(s, s.rng, s.e.Now(), s.next)
+}
+
+func (s *engineSched) log() []int { return s.order }
+
+type refSchedDriver struct {
+	r     *refSched
+	rng   *rand.Rand
+	order []int
+	next  *int
+}
+
+func (s *refSchedDriver) schedule(when Cycle, id int) {
+	s.r.at(when, func() { s.fire(id) })
+}
+
+func (s *refSchedDriver) fire(id int) {
+	s.order = append(s.order, id)
+	spawnChildren(s, s.rng, s.r.now, s.next)
+}
+
+func (s *refSchedDriver) log() []int { return s.order }
+
+// spawnChildren schedules 0–3 children per fired event, biased heavily
+// toward same-cycle offsets to stress the FIFO fast path and its
+// interleaving with heap events already due at the same cycle.
+func spawnChildren(s scheduler, rng *rand.Rand, now Cycle, next *int) {
+	if *next > 4000 {
+		return
+	}
+	n := rng.Intn(4)
+	for i := 0; i < n; i++ {
+		var off Cycle
+		switch rng.Intn(8) {
+		case 0, 1, 2, 3: // same cycle: the hot After(0) pattern
+			off = 0
+		case 4, 5:
+			off = 1
+		default:
+			off = Cycle(rng.Intn(50))
+		}
+		*next++
+		s.schedule(now+off, *next)
+	}
+}
+
+// TestSameCycleOrderingMatchesReference cross-checks the engine's
+// dispatch order against the reference scheduler over randomized
+// programs: same seed, same spawning decisions, same (cycle, seq) FIFO
+// order required. Run under -race in CI like the rest of the suite.
+func TestSameCycleOrderingMatchesReference(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		seedRoots := func(s scheduler, rng *rand.Rand, next *int) {
+			roots := 5 + rng.Intn(10)
+			for i := 0; i < roots; i++ {
+				*next++
+				s.schedule(Cycle(rng.Intn(20)), *next)
+			}
+		}
+
+		var nextA int
+		es := &engineSched{e: NewEngine(), rng: rand.New(rand.NewSource(int64(trial)))}
+		es.next = &nextA
+		seedRoots(es, es.rng, &nextA)
+		es.e.Drain()
+
+		var nextB int
+		rs := &refSchedDriver{r: &refSched{}, rng: rand.New(rand.NewSource(int64(trial)))}
+		rs.next = &nextB
+		seedRoots(rs, rs.rng, &nextB)
+		rs.r.run()
+
+		got, want := es.log(), rs.log()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: engine fired %d events, reference %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dispatch order diverges at %d: engine %d, reference %d",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEngineCloseReleasesParkedProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		e := NewEngine()
+		for j := 0; j < 5; j++ {
+			e.Go("parked", func(p *Proc) { p.Suspend() })
+		}
+		// Let every process start and park; the engine is then abandoned
+		// mid-run, the scenario that used to leak the goroutines.
+		e.RunUntil(10)
+		e.Close()
+	}
+	// Goroutine exit is asynchronous after Close's ack: poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after Close of all engines",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEngineCloseSemantics(t *testing.T) {
+	e := NewEngine()
+	var p *Proc
+	p = e.Go("s", func(p *Proc) { p.Suspend() })
+	e.RunUntil(5)
+	e.Close()
+	e.Close() // idempotent
+	if !p.Finished() {
+		t.Fatal("released process not marked finished")
+	}
+	e.At(100, func() { t.Fatal("event ran on closed engine") }) // no-op
+	if e.Step() {
+		t.Fatal("Step on closed engine reported work")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go on closed engine did not panic")
+		}
+	}()
+	e.Go("late", func(p *Proc) {})
+}
+
+// TestStepDrivenRunFlushesCycles pins the fix for bare Step() loops:
+// progress must reach the SimulatedCycles shim on a cadence even though
+// the caller never invokes Drain or RunUntil.
+func TestStepDrivenRunFlushesCycles(t *testing.T) {
+	e := NewEngine()
+	const span = 4 * cycleFlushPeriod
+	for c := Cycle(0); c <= span; c += 64 {
+		e.At(c, func() {})
+	}
+	before := SimulatedCycles()
+	for e.Step() {
+	}
+	if got := SimulatedCycles() - before; got < span-cycleFlushPeriod {
+		t.Fatalf("Step-driven run flushed %d cycles, want at least %d", got, span-cycleFlushPeriod)
+	}
+}

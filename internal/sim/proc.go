@@ -1,5 +1,7 @@
 package sim
 
+import "runtime"
+
 // Proc is a simulated process: a goroutine co-scheduled with the engine's
 // event loop. Exactly one of {engine, some process} executes at a time.
 // A process runs until it parks (Wait/Suspend) or returns; the engine then
@@ -10,28 +12,39 @@ type Proc struct {
 	name      string
 	wake      chan struct{} // engine -> proc: run
 	yield     chan struct{} // proc -> engine: parked or finished
+	resumeFn  func()        // pre-bound p.resume: every wakeup schedules this one closure
 	finished  bool
 	suspended bool // parked via Suspend (awaiting an explicit Resume)
+	aborted   bool // set by Engine.Close before the final wake
 }
 
 // Go spawns fn as a simulated process starting at the current cycle.
 // fn runs on its own goroutine but never concurrently with the engine or
 // another process.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go on closed engine")
+	}
 	p := &Proc{
 		eng:   e,
 		name:  name,
 		wake:  make(chan struct{}),
 		yield: make(chan struct{}),
 	}
+	p.resumeFn = p.resume
 	e.procs = append(e.procs, p)
 	go func() {
+		defer func() {
+			p.finished = true
+			p.yield <- struct{}{}
+		}()
 		<-p.wake
+		if p.aborted {
+			return
+		}
 		fn(p)
-		p.finished = true
-		p.yield <- struct{}{}
 	}()
-	e.After(0, func() { p.resume() })
+	e.After(0, p.resumeFn)
 	return p
 }
 
@@ -41,10 +54,14 @@ func (p *Proc) resume() {
 	if p.finished {
 		panic("sim: waking process " + p.name + " after it finished (stale wakeup)")
 	}
-	trace("resume(%s) at %d: sending wake", p.name, p.eng.now)
+	if procTrace {
+		trace("resume(%s) at %d: sending wake", p.name, p.eng.now)
+	}
 	p.wake <- struct{}{}
 	<-p.yield
-	trace("resume(%s): got yield", p.name)
+	if procTrace {
+		trace("resume(%s): got yield", p.name)
+	}
 }
 
 // Engine returns the engine this process runs under.
@@ -58,8 +75,10 @@ func (p *Proc) Now() Cycle { return p.eng.Now() }
 
 // Wait parks the process for delay cycles of simulated time.
 func (p *Proc) Wait(delay Cycle) {
-	trace("Wait(%s, %d) at %d", p.name, delay, p.eng.now)
-	p.eng.After(delay, func() { p.resume() })
+	if procTrace {
+		trace("Wait(%s, %d) at %d", p.name, delay, p.eng.now)
+	}
+	p.eng.After(delay, p.resumeFn)
 	p.park()
 }
 
@@ -69,7 +88,7 @@ func (p *Proc) WaitUntil(when Cycle) {
 	if when <= p.eng.Now() {
 		return
 	}
-	p.eng.At(when, func() { p.resume() })
+	p.eng.At(when, p.resumeFn)
 	p.park()
 }
 
@@ -77,7 +96,9 @@ func (p *Proc) WaitUntil(when Cycle) {
 // call Resume. Use for waiting on asynchronous completions (memory
 // responses, queue-slot availability).
 func (p *Proc) Suspend() {
-	trace("Suspend(%s)", p.name)
+	if procTrace {
+		trace("Suspend(%s)", p.name)
+	}
 	p.suspended = true
 	p.park()
 }
@@ -92,17 +113,35 @@ func (p *Proc) Resume() {
 		panic("sim: Resume of process " + p.name + " that is not suspended")
 	}
 	p.suspended = false
-	trace("Resume(%s) scheduled at %d", p.name, p.eng.now)
-	p.eng.After(0, func() { p.resume() })
+	if procTrace {
+		trace("Resume(%s) scheduled at %d", p.name, p.eng.now)
+	}
+	p.eng.After(0, p.resumeFn)
 }
 
 // park transfers control back to the engine.
 func (p *Proc) park() {
-	trace("park(%s) at %d", p.name, p.eng.now)
+	if p.aborted {
+		// Re-parking from a deferred call while the goroutine is being
+		// released by Engine.Close: keep unwinding instead of blocking on
+		// a wake that will never come.
+		runtime.Goexit()
+	}
+	if procTrace {
+		trace("park(%s) at %d", p.name, p.eng.now)
+	}
 	p.yield <- struct{}{}
 	<-p.wake
-	trace("unpark(%s) at %d", p.name, p.eng.now)
+	if p.aborted {
+		// Engine.Close released us: unwind (running deferred calls); the
+		// spawn wrapper's defer acknowledges termination to Close.
+		runtime.Goexit()
+	}
+	if procTrace {
+		trace("unpark(%s) at %d", p.name, p.eng.now)
+	}
 }
 
-// Finished reports whether the process function has returned.
+// Finished reports whether the process goroutine has terminated — its
+// function returned, or Engine.Close released it.
 func (p *Proc) Finished() bool { return p.finished }
