@@ -16,6 +16,12 @@
 //	mcfigures -out results/        # write results/figureX.txt files
 //	mcfigures -jobs 8              # worker pool size (default: NumCPU)
 //	mcfigures -list                # list available figures
+//	mcfigures -trace t.json        # Chrome/Perfetto transaction trace
+//
+// -trace enables the transaction tracer in every job's machines and merges
+// the flight recorders into one Chrome trace-event JSON document in job
+// submission order, so the trace too is byte-identical at any -jobs value.
+// -trace-sample N records every Nth memory operation (1 = all).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/txtrace"
 )
 
 // figurePlan tracks one figure's slice of the global job list.
@@ -48,6 +55,8 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "worker pool size; 1 reproduces a serial run")
 		list     = flag.Bool("list", false, "list available figures and exit")
 		statsOut = flag.String("stats", "", "write run-wide aggregated metrics (merged over all jobs) as JSON to this file; - for stdout")
+		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
+		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
 	)
 	flag.Parse()
 
@@ -79,6 +88,18 @@ func main() {
 		}
 	}
 
+	// Validate the trace destination before any job runs: an unwritable
+	// path should fail in milliseconds, not after the whole sweep.
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := createOutput(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+	}
+
 	// Decompose every figure into jobs up front, then run the whole batch
 	// on one pool: datapoints of different figures overlap freely.
 	var (
@@ -96,6 +117,7 @@ func main() {
 		Workers:  *jobs,
 		Options:  runner.Options{Quick: *quick},
 		Progress: os.Stderr,
+		Trace:    txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN},
 	}, all)
 
 	// Assemble and emit figures in submission order. Failures (a panicking
@@ -138,6 +160,17 @@ func main() {
 			errs = append(errs, err)
 		}
 	}
+	if traceFile != nil {
+		// Tracers concatenated in job submission order, machines in
+		// construction order within a job: deterministic at any -jobs value.
+		var tracers []*txtrace.Tracer
+		for _, r := range results {
+			tracers = append(tracers, r.Trace...)
+		}
+		if err := exportTrace(traceFile, *traceOut, tracers); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	cycles := agg.Counter("sim.cycles")
 	workers := *jobs
 	if workers <= 0 {
@@ -155,6 +188,32 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// createOutput opens path for writing ("-" = stdout). Called before the
+// jobs run so an unwritable path fails fast.
+func createOutput(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+// exportTrace writes the merged trace document and closes the file.
+func exportTrace(f *os.File, path string, tracers []*txtrace.Tracer) error {
+	if err := txtrace.Export(f, tracers); err != nil {
+		if f != os.Stdout {
+			f.Close()
+		}
+		return fmt.Errorf("-trace %s: %w", path, err)
+	}
+	if f == os.Stdout {
+		return nil
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-trace %s: %w", path, err)
+	}
+	return nil
 }
 
 // writeStats dumps an aggregated snapshot as JSON to path ("-" = stdout).

@@ -10,11 +10,18 @@
 //	mcsim -workload hugecow -mech baseline
 //	mcsim -list                          # enumerate workloads and mechanisms
 //	mcsim -stats out.json                # machine-readable metrics dump
+//	mcsim -trace out.json                # Chrome/Perfetto transaction trace
 //
 // -stats writes the merged metrics registry of every machine the run
 // built as JSON ("-" for stdout): one object mapping dotted metric names
 // (cpu0.loads, l1.misses, mc0.rejected_writes, engine.bounces, ...) to
 // their kind and value.
+//
+// -trace enables the transaction tracer and writes every machine's flight
+// recorder as one Chrome trace-event JSON document, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. -trace-sample N records every Nth
+// memory operation (1 = all). Tracing also adds per-stage latency
+// histograms (txtrace.*) to the -stats output.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/oskern"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/txtrace"
 	"mcsquare/internal/workloads/mongo"
 	"mcsquare/internal/workloads/mvcc"
 	"mcsquare/internal/workloads/oswl"
@@ -92,6 +100,8 @@ func main() {
 		quick    = flag.Bool("quick", true, "reduced problem sizes")
 		list     = flag.Bool("list", false, "list workloads and mechanisms and exit")
 		statsOut = flag.String("stats", "", "write the run's metrics registry as JSON to this file; - for stdout")
+		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
+		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
 	)
 	flag.Parse()
 
@@ -119,18 +129,55 @@ func main() {
 		usageErr("%s", msg)
 	}
 
+	// Validate output destinations up front: a simulation should not run
+	// for minutes only to fail writing its result.
+	traceFile, err := createOutput(*traceOut)
+	if err != nil {
+		fatal("-trace: %v", err)
+	}
+
 	// Collect the registry of every machine the workload builds (some
 	// build theirs internally), so -stats sees the whole run.
 	col := metrics.NewCollector()
 	release := col.Bind()
+	tcol := txtrace.NewCollector(txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN})
+	releaseTrace := tcol.Bind()
 	w.run(options{mech: *mech, threads: *threads, frac: *frac, size: *size, quick: *quick})
 	release()
+	releaseTrace()
 
+	if traceFile != nil {
+		if err := tcol.Export(traceFile); err != nil {
+			fatal("-trace: %v", err)
+		}
+		if err := closeOutput(traceFile); err != nil {
+			fatal("-trace: %v", err)
+		}
+	}
 	if *statsOut != "" {
 		if err := writeStats(*statsOut, col.Snapshot()); err != nil {
 			fatal("%v", err)
 		}
 	}
+}
+
+// createOutput opens path for writing ("-" = stdout, "" = none). Called
+// before the simulation runs so an unwritable path fails fast.
+func createOutput(path string) (*os.File, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+func closeOutput(f *os.File) error {
+	if f == os.Stdout {
+		return nil
+	}
+	return f.Close()
 }
 
 func findWorkload(name string) (workload, bool) {

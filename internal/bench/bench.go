@@ -27,6 +27,7 @@ import (
 	"mcsquare/internal/figures"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/txtrace"
 )
 
 // Result is one benchmark measurement. Microbenchmarks fill the per-op
@@ -184,6 +185,44 @@ func benchSuspendResume(b *testing.B) {
 	e.Drain()
 }
 
+// traceOp replays the span pattern one traced memory operation costs the
+// simulator — a root (cpu.load), a child per cache level, and the DRAM
+// leaf — against the given tracer. With tr nil (tracing disabled) every
+// call is a nil-receiver no-op and must not allocate.
+func traceOp(tr *txtrace.Tracer, i int) {
+	addr := uint64(i) * 64
+	now := uint64(i)
+	root := tr.BeginRoot(txtrace.StageCPULoad, 0, addr, now)
+	miss := tr.Begin(root, txtrace.StageL1Miss, addr, now+4)
+	tr.Complete(miss, txtrace.StageDRAMRead, addr, now+30, now+80, txtrace.FlagRowHit)
+	tr.End(miss, now+90)
+	tr.End(root, now+94)
+}
+
+// benchTraceOff measures the tracer's disabled path: the exact call
+// pattern of benchTraceOn against a nil tracer. This is the overhead every
+// untraced simulation pays, and it must stay at 0 allocs/op.
+func benchTraceOff(b *testing.B) {
+	b.ReportAllocs()
+	var tr *txtrace.Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceOp(tr, i)
+	}
+}
+
+// benchTraceOn measures tracing at 1% sampling — the recommended setting
+// for long runs. 99 of 100 ops take the tx==0 early-out; the sampled op
+// pays the ring-buffer writes and histogram updates.
+func benchTraceOn(b *testing.B) {
+	b.ReportAllocs()
+	tr := txtrace.New(txtrace.Config{Enabled: true, SampleEvery: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceOp(tr, i)
+	}
+}
+
 type microBench struct {
 	name string
 	fn   func(b *testing.B)
@@ -195,6 +234,8 @@ var microBenches = []microBench{
 	{"engine/mixed-queue", benchMixedQueue},
 	{"proc/wait-wakeup", benchProcWait},
 	{"proc/suspend-resume", benchSuspendResume},
+	{"trace/off", benchTraceOff},
+	{"trace/on-1pct", benchTraceOn},
 }
 
 // EngineMicro runs the engine microbenchmark suite, filtered by the

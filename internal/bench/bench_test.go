@@ -47,3 +47,16 @@ func TestEngineMicroSmoke(t *testing.T) {
 		t.Fatalf("degenerate result: %+v", res[0])
 	}
 }
+
+// TestTraceOffAllocatesNothing pins the tracer's disabled-path cost: the
+// trace/off microbenchmark — the per-memory-op span pattern against a nil
+// tracer — must report zero allocations per op, so an untraced simulation
+// pays only dead branches for the instrumentation.
+func TestTraceOffAllocatesNothing(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		traceOp(nil, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Config sizes the hierarchy. Latencies are in CPU cycles.
@@ -170,6 +171,7 @@ type Hierarchy struct {
 	l2    *array
 	route func(memdata.Addr) *memctrl.Controller
 	bus   *interconnect.Bus // cache <-> controller link
+	tr    *txtrace.Tracer
 
 	mshrs      []map[memdata.Addr]*mshr // per core, demand misses
 	mshrUsed   []int
@@ -217,6 +219,9 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Bus returns the cache-to-controller interconnect (stats, studies).
 func (h *Hierarchy) Bus() *interconnect.Bus { return h.bus }
 
+// SetTracer attaches the transaction tracer (nil disables).
+func (h *Hierarchy) SetTracer(t *txtrace.Tracer) { h.tr = t }
+
 func checkLine(a memdata.Addr) {
 	if !memdata.IsLineAligned(a) {
 		panic(fmt.Sprintf("cache: unaligned line address %#x", a))
@@ -230,10 +235,20 @@ func checkLine(a memdata.Addr) {
 // Read fetches the full line at a for the given core. done receives a copy
 // of the line's current data.
 func (h *Hierarchy) Read(core int, a memdata.Addr, done func(data []byte)) {
+	h.ReadTx(core, a, 0, done)
+}
+
+// ReadTx is Read carrying a transaction-trace id: traced reads record an
+// l1.hit span, or an l1.miss span under which the L2/memory legs nest.
+func (h *Hierarchy) ReadTx(core int, a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
 	checkLine(a)
 	l1 := h.l1s[core]
 	if cl := l1.lookup(a); cl != nil {
 		h.Stats.L1Hits++
+		if tx != 0 {
+			now := uint64(h.eng.Now())
+			h.tr.Complete(tx, txtrace.StageL1Hit, uint64(a), now, now+uint64(h.cfg.L1Latency), 0)
+		}
 		l1.touch(cl)
 		data := append([]byte(nil), cl.data...)
 		h.eng.After(h.cfg.L1Latency, func() { done(data) })
@@ -241,7 +256,15 @@ func (h *Hierarchy) Read(core int, a memdata.Addr, done func(data []byte)) {
 	}
 	h.Stats.L1Misses++
 	h.trainPrefetcher(core, a)
-	h.missToL2(core, a, done)
+	sp := h.tr.Begin(tx, txtrace.StageL1Miss, uint64(a), uint64(h.eng.Now()))
+	if sp != 0 {
+		inner := done
+		done = func(data []byte) {
+			h.tr.End(sp, uint64(h.eng.Now()))
+			inner(data)
+		}
+	}
+	h.missToL2(core, a, sp, done)
 }
 
 // getMSHR returns a recycled mshr entry (waiter slice capacity retained)
@@ -269,14 +292,20 @@ func (h *Hierarchy) putMSHR(m *mshr) {
 
 // missToL2 handles an L1 miss, merging concurrent misses to the same line
 // in the core's MSHR file and bounding outstanding misses.
-func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
+func (h *Hierarchy) missToL2(core int, a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
 	if m, ok := h.mshrs[core][a]; ok {
 		m.waiters = append(m.waiters, done)
 		return
 	}
 	if h.mshrUsed[core] >= h.cfg.MSHRsPerCore {
 		h.Stats.MSHRStalls++
-		h.mshrQueue[core].Push(func() { h.missToL2(core, a, done) })
+		start := uint64(h.eng.Now())
+		h.mshrQueue[core].Push(func() {
+			if tx != 0 {
+				h.tr.Complete(tx, txtrace.StageMSHRWait, uint64(a), start, uint64(h.eng.Now()), 0)
+			}
+			h.missToL2(core, a, tx, done)
+		})
 		return
 	}
 	h.mshrUsed[core]++
@@ -284,7 +313,7 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
 	h.mshrs[core][a] = m
 
 	h.eng.After(h.cfg.L1Latency+h.cfg.L2Latency, func() {
-		h.l2Access(core, a, m, func(data []byte) {
+		h.l2Access(core, a, tx, m, func(data []byte) {
 			if !m.cancelled {
 				h.fillL1(core, a, data, false)
 			}
@@ -306,7 +335,7 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, done func(data []byte)) {
 // l2Access resolves a line at the L2 level: hit (pulling a dirty copy from
 // another L1 if needed) or miss to the memory controller. m carries the
 // cancellation flag checked before installing the line.
-func (h *Hierarchy) l2Access(core int, a memdata.Addr, m *mshr, done func(data []byte)) {
+func (h *Hierarchy) l2Access(core int, a memdata.Addr, tx txtrace.Tx, m *mshr, done func(data []byte)) {
 	if cl := h.l2.lookup(a); cl != nil {
 		h.Stats.L2Hits++
 		h.l2.touch(cl)
@@ -314,20 +343,30 @@ func (h *Hierarchy) l2Access(core int, a memdata.Addr, m *mshr, done func(data [
 			// Another core's L1 holds the dirty copy: pull it into L2.
 			h.Stats.CrossCorePulls++
 			h.pullDirty(cl)
+			if tx != 0 {
+				now := uint64(h.eng.Now())
+				h.tr.Complete(tx, txtrace.StageL2Hit, uint64(a), now, now+uint64(h.cfg.L1Latency), 0)
+			}
 			h.eng.After(h.cfg.L1Latency, func() { done(append([]byte(nil), cl.data...)) })
 			return
+		}
+		if tx != 0 {
+			now := uint64(h.eng.Now())
+			h.tr.Complete(tx, txtrace.StageL2Hit, uint64(a), now, now, 0)
 		}
 		done(append([]byte(nil), cl.data...))
 		return
 	}
 	h.Stats.L2Misses++
+	sp := h.tr.Begin(tx, txtrace.StageL2Miss, uint64(a), uint64(h.eng.Now()))
 	mc := h.route(a)
-	h.bus.Send(memdata.LineSize, func() {
-		mc.ReadLine(a, func(data []byte) {
-			h.bus.Send(memdata.LineSize, func() {
+	h.bus.SendTx(memdata.LineSize, sp, func() {
+		mc.ReadLineTx(a, sp, func(data []byte) {
+			h.bus.SendTx(memdata.LineSize, sp, func() {
 				if !m.cancelled {
 					h.fillL2(a, data, false)
 				}
+				h.tr.End(sp, uint64(h.eng.Now()))
 				done(data)
 			})
 		})
@@ -453,6 +492,11 @@ func (h *Hierarchy) writebackToMemory(a memdata.Addr, data []byte) {
 // core, acquiring the line exclusively first (RFO on a miss). done fires
 // when the store retires into the L1.
 func (h *Hierarchy) Write(core int, a memdata.Addr, off uint64, data []byte, done func()) {
+	h.WriteTx(core, a, off, data, 0, done)
+}
+
+// WriteTx is Write carrying a transaction-trace id.
+func (h *Hierarchy) WriteTx(core int, a memdata.Addr, off uint64, data []byte, tx txtrace.Tx, done func()) {
 	checkLine(a)
 	if off+uint64(len(data)) > memdata.LineSize {
 		panic("cache: write crosses a line boundary")
@@ -460,6 +504,10 @@ func (h *Hierarchy) Write(core int, a memdata.Addr, off uint64, data []byte, don
 	l1 := h.l1s[core]
 	if cl := l1.lookup(a); cl != nil {
 		h.Stats.L1Hits++
+		if tx != 0 {
+			now := uint64(h.eng.Now())
+			h.tr.Complete(tx, txtrace.StageL1Hit, uint64(a), now, now+uint64(h.cfg.L1Latency), txtrace.FlagWrite)
+		}
 		h.invalidateOtherSharers(core, a)
 		copy(cl.data[off:], data)
 		cl.dirty = true
@@ -473,7 +521,8 @@ func (h *Hierarchy) Write(core int, a memdata.Addr, off uint64, data []byte, don
 	// Read-for-ownership: fetch the line, then apply the store.
 	h.Stats.L1Misses++
 	h.trainPrefetcher(core, a)
-	h.missToL2(core, a, func(lineData []byte) {
+	sp := h.tr.Begin(tx, txtrace.StageL1Miss, uint64(a), uint64(h.eng.Now()))
+	h.missToL2(core, a, sp, func(lineData []byte) {
 		h.invalidateOtherSharers(core, a)
 		cl := h.l1s[core].lookup(a)
 		if cl == nil {
@@ -486,6 +535,7 @@ func (h *Hierarchy) Write(core int, a memdata.Addr, off uint64, data []byte, don
 		if l2cl := h.l2.lookup(a); l2cl != nil {
 			l2cl.owner = int8(core)
 		}
+		h.tr.EndFlags(sp, uint64(h.eng.Now()), txtrace.FlagWrite)
 		done()
 	})
 }
@@ -516,6 +566,11 @@ func (h *Hierarchy) invalidateOtherSharers(core int, a memdata.Addr) {
 // (any cached copies are discarded — the line is fully overwritten) and the
 // write goes straight to the controller, avoiding the RFO memory read.
 func (h *Hierarchy) WriteLineNT(core int, a memdata.Addr, data []byte, done func()) {
+	h.WriteLineNTTx(core, a, data, 0, done)
+}
+
+// WriteLineNTTx is WriteLineNT carrying a transaction-trace id.
+func (h *Hierarchy) WriteLineNTTx(core int, a memdata.Addr, data []byte, tx txtrace.Tx, done func()) {
 	checkLine(a)
 	if len(data) != memdata.LineSize {
 		panic("cache: non-temporal store must write a full line")
@@ -525,7 +580,7 @@ func (h *Hierarchy) WriteLineNT(core int, a memdata.Addr, data []byte, done func
 	cp := append([]byte(nil), data...)
 	mc := h.route(a)
 	h.eng.After(h.cfg.L1Latency, func() {
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(a, cp, done) })
+		h.bus.SendTx(memdata.LineSize, tx, func() { mc.WriteLineOwnedTx(a, cp, tx, done) })
 	})
 }
 
@@ -576,6 +631,11 @@ func (h *Hierarchy) dropLine(a memdata.Addr) {
 // when the write has been accepted by the controller (or immediately for
 // clean/absent lines).
 func (h *Hierarchy) CLWB(core int, a memdata.Addr, done func()) {
+	h.CLWBTx(core, a, 0, done)
+}
+
+// CLWBTx is CLWB carrying a transaction-trace id.
+func (h *Hierarchy) CLWBTx(core int, a memdata.Addr, tx txtrace.Tx, done func()) {
 	checkLine(a)
 	h.Stats.CLWBs++
 	var data []byte
@@ -604,7 +664,7 @@ func (h *Hierarchy) CLWB(core int, a memdata.Addr, done func()) {
 	}
 	mc := h.route(a)
 	h.eng.After(h.cfg.L1Latency+h.cfg.L2Latency, func() {
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(a, data, done) })
+		h.bus.SendTx(memdata.LineSize, tx, func() { mc.WriteLineOwnedTx(a, data, tx, done) })
 	})
 }
 
@@ -640,6 +700,11 @@ func (h *Hierarchy) InvalidateRange(r memdata.Range) int {
 // many lines were dirty. This is the "ranged writeback" the paper suggests
 // as future work (§V-A1); the simulated kernel uses it for huge pages.
 func (h *Hierarchy) FlushRange(r memdata.Range, done func()) int {
+	return h.FlushRangeTx(r, 0, done)
+}
+
+// FlushRangeTx is FlushRange carrying a transaction-trace id.
+func (h *Hierarchy) FlushRangeTx(r memdata.Range, tx txtrace.Tx, done func()) int {
 	dirty := 0
 	remaining := 1
 	complete := func() {
@@ -674,7 +739,7 @@ func (h *Hierarchy) FlushRange(r memdata.Range, done func()) int {
 		remaining++
 		mc := h.route(l)
 		lcopy := l
-		h.bus.Send(memdata.LineSize, func() { mc.WriteLineOwned(lcopy, data, complete) })
+		h.bus.SendTx(memdata.LineSize, tx, func() { mc.WriteLineOwnedTx(lcopy, data, tx, complete) })
 	}
 	h.eng.After(h.cfg.L2Latency, complete)
 	return dirty

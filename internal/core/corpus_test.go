@@ -253,7 +253,7 @@ func runProgram(t *testing.T, prog *corpusProgram) (*rig, string) {
 				}
 			case "free":
 				done := false
-				r.lazy.MCFree(memdata.Range{Start: op.a, Size: op.size}, func() {
+				r.lazy.MCFree(memdata.Range{Start: op.a, Size: op.size}, 0, func() {
 					done = true
 					if !r.proc.Finished() {
 						r.proc.Resume()

@@ -6,6 +6,7 @@ import (
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Params configures the lazy-copy engine. The defaults mirror the paper's
@@ -91,7 +92,8 @@ type pendingLazy struct {
 	done      func()
 	since     sim.Cycle
 	queued    bool
-	fullStall bool // stalled on a full CTT (vs a BPQ conflict)
+	fullStall bool       // stalled on a full CTT (vs a BPQ conflict)
+	sp        txtrace.Tx // ctt.insert span, open across stalls
 }
 
 // Engine is the (MC)² lazy-copy machinery shared by all memory controllers.
@@ -104,6 +106,7 @@ type Engine struct {
 	ctt   *CTT
 	mcs   []*memctrl.Controller
 	route func(memdata.Addr) int
+	tr    *txtrace.Tracer
 
 	bpqs        []bpq
 	held        map[memdata.Addr]*heldWrite
@@ -143,6 +146,9 @@ func NewEngine(eng *sim.Engine, p Params, mcs []*memctrl.Controller, route func(
 // CTT exposes the table (stats, tests).
 func (e *Engine) CTT() *CTT { return e.ctt }
 
+// SetTracer attaches the transaction tracer (nil disables).
+func (e *Engine) SetTracer(t *txtrace.Tracer) { e.tr = t }
+
 // Idle reports whether no lazy-copy machinery is in flight.
 func (e *Engine) Idle() bool {
 	return len(e.held) == 0 && len(e.heldWaiters) == 0 && len(e.pending) == 0 && e.freeWorkers == 0
@@ -154,12 +160,12 @@ type mcHook struct {
 	mc int
 }
 
-func (h *mcHook) FilterRead(a memdata.Addr, done func([]byte)) bool {
-	return h.e.filterRead(h.mc, a, done)
+func (h *mcHook) FilterRead(a memdata.Addr, tx txtrace.Tx, done func([]byte)) bool {
+	return h.e.filterRead(h.mc, a, tx, done)
 }
 
-func (h *mcHook) FilterWrite(a memdata.Addr, data []byte, release func()) bool {
-	return h.e.filterWrite(h.mc, a, data, release)
+func (h *mcHook) FilterWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) bool {
+	return h.e.filterWrite(h.mc, a, data, tx, release)
 }
 
 func lineRange(a memdata.Addr) memdata.Range {
@@ -170,13 +176,17 @@ func lineRange(a memdata.Addr) memdata.Range {
 // Read path (§III-B2: "Read from destination", "Read from source")
 // ---------------------------------------------------------------------------
 
-func (e *Engine) filterRead(mc int, a memdata.Addr, done func([]byte)) bool {
+func (e *Engine) filterRead(mc int, a memdata.Addr, tx txtrace.Tx, done func([]byte)) bool {
 	if !memdata.IsLineAligned(a) {
 		panic(fmt.Sprintf("core: controller read of unaligned address %#x", a))
 	}
 	// Reads of a BPQ-held source line are serviced from the BPQ (state 3).
 	if hw, ok := e.held[a]; ok {
 		e.Stats.BPQForwards++
+		if tx != 0 {
+			now := uint64(e.eng.Now())
+			e.tr.Complete(tx, txtrace.StageBPQForward, uint64(a), now, now+uint64(e.p.CTTLatency), 0)
+		}
 		data := append([]byte(nil), hw.data...)
 		e.eng.After(e.p.CTTLatency, func() { done(data) })
 		return true
@@ -187,11 +197,20 @@ func (e *Engine) filterRead(mc int, a memdata.Addr, done func([]byte)) bool {
 	// Read from destination: bounce to the source (Fig 7). The CTT lookup
 	// preempts the DRAM access, then the request crosses the interconnect.
 	e.Stats.Bounces++
+	bsp := txtrace.Tx(0)
+	if tx != 0 {
+		now := uint64(e.eng.Now())
+		e.tr.Complete(tx, txtrace.StageCTTHit, uint64(a), now, now+uint64(e.p.CTTLatency), 0)
+		bsp = e.tr.Begin(tx, txtrace.StageBounce, uint64(a), now)
+	}
 	e.eng.After(e.p.CTTLatency+e.p.HopLatency, func() {
 		gen := e.destGen[a]
-		e.composeDestLine(a, func(data []byte) {
-			e.eng.After(e.p.HopLatency, func() { done(data) })
-			e.maybeWriteback(a, gen, data)
+		e.composeDestLine(a, bsp, func(data []byte) {
+			e.eng.After(e.p.HopLatency, func() {
+				e.tr.End(bsp, uint64(e.eng.Now()))
+				done(data)
+			})
+			e.maybeWriteback(a, gen, bsp, data)
 		})
 	})
 	return true
@@ -200,39 +219,48 @@ func (e *Engine) filterRead(mc int, a memdata.Addr, done func([]byte)) bool {
 // maybeWriteback sends a reconstructed destination line to memory so that
 // future reads are serviced normally — unless the destination controller's
 // WPQ is too full (the paper's 75% rule, §III-B2).
-func (e *Engine) maybeWriteback(a memdata.Addr, gen uint64, data []byte) {
+func (e *Engine) maybeWriteback(a memdata.Addr, gen uint64, tx txtrace.Tx, data []byte) {
 	if !e.p.WritebackOnBounce {
 		return
 	}
 	mc := e.mcs[e.route(a)]
 	if mc.WPQOccupancy() >= e.p.WPQRejectFrac {
 		e.Stats.WritebackRejects++
+		e.tr.Anomaly(txtrace.AnomalyWPQReject, e.route(a), uint64(a), uint64(e.eng.Now()))
+		if tx != 0 {
+			now := uint64(e.eng.Now())
+			e.tr.Complete(tx, txtrace.StageBounceWriteback, uint64(a), now, now, txtrace.FlagRejected)
+		}
 		return
 	}
 	e.Stats.BounceWritebacks++
 	// The write goes through the full hooked path: it trims the CTT entry
 	// and, if this line is itself the source of another prospective copy,
 	// triggers the dependent lazy copies first.
-	e.writeReconstructed(a, gen, data, func() {})
+	done := func() {}
+	if wsp := e.tr.Begin(tx, txtrace.StageBounceWriteback, uint64(a), uint64(e.eng.Now())); wsp != 0 {
+		done = func() { e.tr.EndFlags(wsp, uint64(e.eng.Now()), txtrace.FlagWrite) }
+	}
+	e.writeReconstructed(a, gen, tx, data, done)
 }
 
 // writeReconstructed lands a lazily reconstructed destination line unless
 // a CPU write to it arrived after the value was composed, in which case
 // the reconstruction is stale and dropped.
-func (e *Engine) writeReconstructed(a memdata.Addr, gen uint64, data []byte, done func()) {
+func (e *Engine) writeReconstructed(a memdata.Addr, gen uint64, tx txtrace.Tx, data []byte, done func()) {
 	if e.destGen[a] != gen {
 		e.Stats.DroppedInternal++
 		e.eng.After(0, done)
 		return
 	}
-	e.hookedWrite(a, data, done, false)
+	e.hookedWrite(a, data, tx, done, false)
 }
 
 // composeDestLine reconstructs the 64-byte destination line at a: bytes
 // covered by CTT entries are fetched from their sources (snapshot at call
 // time), remaining bytes from memory. cb receives the completed line once
 // all fetches finish.
-func (e *Engine) composeDestLine(a memdata.Addr, cb func([]byte)) {
+func (e *Engine) composeDestLine(a memdata.Addr, tx txtrace.Tx, cb func([]byte)) {
 	lr := lineRange(a)
 	type seg struct {
 		part memdata.Range // destination bytes within the line
@@ -287,7 +315,9 @@ func (e *Engine) composeDestLine(a memdata.Addr, cb func([]byte)) {
 	for _, l := range order {
 		l := l
 		e.Stats.BounceSrcReads++
-		e.mcs[e.route(l)].RawReadLineSnapshot(l, func(d []byte) {
+		ssp := e.tr.Begin(tx, txtrace.StageBounceSrcRead, uint64(l), uint64(e.eng.Now()))
+		e.mcs[e.route(l)].RawReadLineSnapshotTx(l, ssp, func(d []byte) {
+			e.tr.End(ssp, uint64(e.eng.Now()))
 			needs[l] = d
 			remaining--
 			if remaining == 0 {
@@ -301,7 +331,7 @@ func (e *Engine) composeDestLine(a memdata.Addr, cb func([]byte)) {
 // Write path (§III-B2: "Write to destination", "Write to source")
 // ---------------------------------------------------------------------------
 
-func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, release func()) bool {
+func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, tx txtrace.Tx, release func()) bool {
 	if !memdata.IsLineAligned(a) {
 		panic(fmt.Sprintf("core: controller write of unaligned address %#x", a))
 	}
@@ -310,6 +340,10 @@ func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, release func()
 	// Writes to a held line merge into the BPQ entry (state 3).
 	if hw, ok := e.held[a]; ok {
 		e.Stats.BPQMerges++
+		if tx != 0 {
+			now := uint64(e.eng.Now())
+			e.tr.Complete(tx, txtrace.StageBPQMerge, uint64(a), now, now+uint64(e.p.CTTLatency), txtrace.FlagWrite)
+		}
 		copy(hw.data, data)
 		e.eng.After(e.p.CTTLatency, release)
 		return true
@@ -322,8 +356,10 @@ func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, release func()
 		return false
 	}
 	// Write to source: hold in the BPQ while the lazy copies execute.
-	e.acquireBPQ(mc, func() {
-		e.processSrcWrite(mc, a, data, release, true)
+	qsp := e.tr.Begin(tx, txtrace.StageBPQWait, uint64(a), uint64(e.eng.Now()))
+	e.acquireBPQ(mc, a, func() {
+		e.tr.End(qsp, uint64(e.eng.Now()))
+		e.processSrcWrite(mc, a, data, tx, release, true)
 	})
 	return true
 }
@@ -332,7 +368,7 @@ func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, release func()
 // rules as a CPU write (trim destinations, cascade through sources), but
 // without consuming a CPU-visible BPQ slot when useBPQ is false — internal
 // cascades are the controller's own machinery.
-func (e *Engine) hookedWrite(a memdata.Addr, data []byte, release func(), useBPQ bool) {
+func (e *Engine) hookedWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release func(), useBPQ bool) {
 	if _, ok := e.held[a]; ok {
 		// A CPU write to this line is already held in a BPQ and is newer
 		// than this reconstructed value: drop the internal write (Fig 9
@@ -346,13 +382,13 @@ func (e *Engine) hookedWrite(a memdata.Addr, data []byte, release func(), useBPQ
 	if !e.ctt.HasSrcOverlap(lineRange(a)) {
 		e.ctt.RemoveDestRange(lineRange(a))
 		e.wakePending()
-		e.mcs[mc].RawWriteLineOwned(a, data, release)
+		e.mcs[mc].RawWriteLineOwnedTx(a, data, tx, release)
 		return
 	}
 	if useBPQ {
-		e.acquireBPQ(mc, func() { e.processSrcWrite(mc, a, data, release, true) })
+		e.acquireBPQ(mc, a, func() { e.processSrcWrite(mc, a, data, tx, release, true) })
 	} else {
-		e.processSrcWrite(mc, a, data, release, false)
+		e.processSrcWrite(mc, a, data, tx, release, false)
 	}
 }
 
@@ -360,8 +396,9 @@ func (e *Engine) hookedWrite(a memdata.Addr, data []byte, release func(), useBPQ
 // source line is held; every destination line that prospectively copies
 // from it is reconstructed (from memory, not the held data) and written;
 // then the held write proceeds to memory.
-func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, release func(), slotHeld bool) {
+func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, tx txtrace.Tx, release func(), slotHeld bool) {
 	e.Stats.BPQHolds++
+	hsp := e.tr.Begin(tx, txtrace.StageBPQHold, uint64(a), uint64(e.eng.Now()))
 	hw := &heldWrite{data: append([]byte(nil), data...)}
 	e.held[a] = hw
 	// The BPQ is a posted buffer: the writer proceeds once the write is
@@ -408,7 +445,8 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, release fu
 		// The held line may itself have been a tracked destination.
 		e.ctt.RemoveDestRange(lr)
 		delete(e.held, a)
-		e.mcs[mc].RawWriteLineOwned(a, hw.data, func() {})
+		e.tr.EndFlags(hsp, uint64(e.eng.Now()), txtrace.FlagWrite)
+		e.mcs[mc].RawWriteLineOwnedTx(a, hw.data, hsp, func() {})
 		if slotHeld {
 			e.releaseBPQ(mc)
 		}
@@ -423,10 +461,10 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, release fu
 		dl := dl
 		e.Stats.BPQCopies++
 		gen := e.destGen[dl]
-		e.composeDestLine(dl, func(lineData []byte) {
+		e.composeDestLine(dl, hsp, func(lineData []byte) {
 			// Writing the reconstructed line trims its CTT entries and
 			// cascades if the line is a source elsewhere.
-			e.writeReconstructed(dl, gen, lineData, func() {
+			e.writeReconstructed(dl, gen, hsp, lineData, func() {
 				remaining--
 				if remaining == 0 {
 					finish()
@@ -449,7 +487,7 @@ func (e *Engine) runHeldWaiters() {
 	}
 }
 
-func (e *Engine) acquireBPQ(mc int, fn func()) {
+func (e *Engine) acquireBPQ(mc int, a memdata.Addr, fn func()) {
 	q := &e.bpqs[mc]
 	if q.used < e.p.BPQCapacity {
 		q.used++
@@ -457,6 +495,7 @@ func (e *Engine) acquireBPQ(mc int, fn func()) {
 		return
 	}
 	e.Stats.BPQStallsFull++
+	e.tr.Anomaly(txtrace.AnomalyBPQSaturated, mc, uint64(a), uint64(e.eng.Now()))
 	q.waiters.Push(fn)
 }
 
@@ -477,8 +516,9 @@ func (e *Engine) releaseBPQ(mc int) {
 // controller has accepted the CTT update. The operation stalls while the
 // CTT is full or while BPQ-held lines overlap either buffer (Fig 9:
 // "prospective copies involving S1 or S2 are stalled").
-func (e *Engine) MCLazy(dst memdata.Range, src memdata.Addr, done func()) {
-	pl := &pendingLazy{dst: dst, src: src, done: done, since: e.eng.Now()}
+func (e *Engine) MCLazy(dst memdata.Range, src memdata.Addr, tx txtrace.Tx, done func()) {
+	sp := e.tr.Begin(tx, txtrace.StageCTTInsert, uint64(dst.Start), uint64(e.eng.Now()))
+	pl := &pendingLazy{dst: dst, src: src, done: done, since: e.eng.Now(), sp: sp}
 	e.tryLazy(pl)
 }
 
@@ -518,6 +558,7 @@ func (e *Engine) tryLazy(pl *pendingLazy) {
 	}
 	e.Stats.LazyOps++
 	e.Stats.LazyBytes += pl.dst.Size
+	e.tr.End(pl.sp, uint64(e.eng.Now()+e.p.CTTLatency))
 	e.maybeStartFree(false)
 	e.eng.After(e.p.CTTLatency, pl.done)
 }
@@ -562,7 +603,11 @@ func (e *Engine) wakePending() {
 
 // MCFree hints that the buffer r is dead: tracking for every fully
 // contained destination line is dropped without copying (§III-C).
-func (e *Engine) MCFree(r memdata.Range, done func()) {
+func (e *Engine) MCFree(r memdata.Range, tx txtrace.Tx, done func()) {
+	if tx != 0 {
+		now := uint64(e.eng.Now())
+		e.tr.Complete(tx, txtrace.StageCTTInsert, uint64(r.Start), now, now+uint64(e.p.CTTLatency), 0)
+	}
 	start := memdata.LineUp(r.Start)
 	end := memdata.LineAlign(r.End())
 	if end > start {
@@ -641,6 +686,7 @@ func (e *Engine) freeWorker() {
 	e.freeing[ent.ID] = true
 	e.Stats.Frees++
 	e.Stats.FreedBytes += ent.Dst.Size
+	fsp := e.tr.BeginRoot(txtrace.StageFree, txtrace.TrackEngine, uint64(ent.Dst.Start), uint64(e.eng.Now()))
 	lines := ent.Dst.Lines()
 	var step func(i int)
 	step = func(i int) {
@@ -650,6 +696,7 @@ func (e *Engine) freeWorker() {
 		}
 		if i >= len(lines) {
 			delete(e.freeing, ent.ID)
+			e.tr.End(fsp, uint64(e.eng.Now()))
 			e.eng.After(0, e.freeWorker)
 			return
 		}
@@ -661,8 +708,8 @@ func (e *Engine) freeWorker() {
 			return
 		}
 		gen := e.destGen[dl]
-		e.composeDestLine(dl, func(data []byte) {
-			e.writeReconstructed(dl, gen, data, func() {
+		e.composeDestLine(dl, fsp, func(data []byte) {
+			e.writeReconstructed(dl, gen, fsp, data, func() {
 				e.eng.After(e.p.FreePacing, func() { step(i + 1) })
 			})
 		})

@@ -10,6 +10,7 @@ import (
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // rig is a two-controller test system with a shadow "eager" memory: every
@@ -22,6 +23,7 @@ type rig struct {
 	shadow *memdata.Physical
 	mcs    []*memctrl.Controller
 	lazy   *Engine
+	tr     *txtrace.Tracer // nil unless a collector was bound at newRig
 	proc   *sim.Proc
 	failed string // first failure; reported after the engine drains
 }
@@ -40,7 +42,14 @@ func newRig(t *testing.T, p Params) *rig {
 		memctrl.New(1, eng, memctrl.DefaultConfig(), dram.NewChannel(dram.DDR4Config()), phys),
 	}
 	lazy := NewEngine(eng, p, mcs, routeLine)
-	return &rig{t: t, eng: eng, phys: phys, shadow: shadow, mcs: mcs, lazy: lazy}
+	// Same wiring as machine.New: a collector bound to the constructing
+	// goroutine hands the rig a tracer; with none bound this is all nil.
+	tr := txtrace.AmbientCollector().NewTracer()
+	for _, mc := range mcs {
+		mc.SetTracer(tr)
+	}
+	lazy.SetTracer(tr)
+	return &rig{t: t, eng: eng, phys: phys, shadow: shadow, mcs: mcs, lazy: lazy, tr: tr}
 }
 
 // fill seeds both memories with identical pseudorandom content.
@@ -65,11 +74,15 @@ func (r *rig) run(fn func()) {
 
 func (r *rig) mc(a memdata.Addr) *memctrl.Controller { return r.mcs[routeLine(a)] }
 
-// read performs a hooked line read and blocks the test process.
+// read performs a hooked line read and blocks the test process. With a
+// tracer attached it opens a root span per read, standing in for the CPU
+// layer the rig omits.
 func (r *rig) read(a memdata.Addr) []byte {
 	var out []byte
 	done := false
-	r.mc(a).ReadLine(a, func(d []byte) {
+	sp := r.tr.BeginRoot(txtrace.StageCPULoad, 0, uint64(a), uint64(r.eng.Now()))
+	r.mc(a).ReadLineTx(a, sp, func(d []byte) {
+		r.tr.End(sp, uint64(r.eng.Now()))
 		out = d
 		done = true
 		if !r.proc.Finished() {
@@ -86,7 +99,9 @@ func (r *rig) read(a memdata.Addr) []byte {
 // mirrors it on the shadow.
 func (r *rig) write(a memdata.Addr, data []byte) {
 	done := false
-	r.mc(a).WriteLine(a, data, func() {
+	sp := r.tr.BeginRoot(txtrace.StageCPUStore, 0, uint64(a), uint64(r.eng.Now()))
+	r.mc(a).WriteLineTx(a, data, sp, func() {
+		r.tr.EndFlags(sp, uint64(r.eng.Now()), txtrace.FlagWrite)
 		done = true
 		if !r.proc.Finished() {
 			r.proc.Resume()
@@ -101,7 +116,9 @@ func (r *rig) write(a memdata.Addr, data []byte) {
 // lazyCopy issues MCLAZY and mirrors an eager copy on the shadow.
 func (r *rig) lazyCopy(dst memdata.Range, src memdata.Addr) {
 	done := false
-	r.lazy.MCLazy(dst, src, func() {
+	sp := r.tr.BeginRoot(txtrace.StageCPUMCLazy, 0, uint64(dst.Start), uint64(r.eng.Now()))
+	r.lazy.MCLazy(dst, src, sp, func() {
+		r.tr.End(sp, uint64(r.eng.Now()))
 		done = true
 		if !r.proc.Finished() {
 			r.proc.Resume()
@@ -326,7 +343,7 @@ func TestMCFreeDropsTracking(t *testing.T) {
 		dst := rng(0x10000, 4*line)
 		r.lazyCopy(dst, 0x40000)
 		done := false
-		r.lazy.MCFree(dst, func() {
+		r.lazy.MCFree(dst, 0, func() {
 			done = true
 			if !r.proc.Finished() {
 				r.proc.Resume()

@@ -19,6 +19,7 @@ import (
 	"mcsquare/internal/cache"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Config bounds the core's memory parallelism.
@@ -44,10 +45,11 @@ func DefaultConfig() Config {
 type LazyIssuer interface {
 	// MCLazy performs the MCLAZY instruction for a core: destination
 	// cachelines are invalidated, the packet is broadcast, and done fires
-	// when every CTT has accepted the entry.
-	MCLazy(core int, dst memdata.Range, src memdata.Addr, done func())
+	// when every CTT has accepted the entry. tx is the operation's
+	// transaction-trace id (0 when untraced).
+	MCLazy(core int, dst memdata.Range, src memdata.Addr, tx txtrace.Tx, done func())
 	// MCFree hints that the buffer is dead.
-	MCFree(core int, r memdata.Range, done func())
+	MCFree(core int, r memdata.Range, tx txtrace.Tx, done func())
 }
 
 // Stats counts core activity.
@@ -73,6 +75,7 @@ type Core struct {
 	hier *cache.Hierarchy
 	lazy LazyIssuer
 	p    *sim.Proc
+	tr   *txtrace.Tracer
 
 	inflight    int
 	windowWait  bool
@@ -111,6 +114,10 @@ func New(id int, cfg Config, hier *cache.Hierarchy, lazy LazyIssuer) *Core {
 
 // Bind attaches the workload process that will drive this core.
 func (c *Core) Bind(p *sim.Proc) { c.p = p }
+
+// SetTracer attaches the transaction tracer (nil disables). Each memory
+// operation the core issues becomes one root span per cacheline touched.
+func (c *Core) SetTracer(t *txtrace.Tracer) { c.tr = t }
 
 // Proc returns the bound workload process.
 func (c *Core) Proc() *sim.Proc { return c.p }
@@ -186,10 +193,12 @@ func (c *Core) Load(a memdata.Addr, n uint64) []byte {
 	for _, s := range lineSpans(a, n) {
 		c.issue()
 		c.Stats.Loads++
+		sp := c.tr.BeginRoot(txtrace.StageCPULoad, int32(c.ID), uint64(s.line), uint64(c.p.Now()))
 		start := c.p.Now()
 		var data []byte
 		done := false
-		c.hier.Read(c.ID, s.line, func(d []byte) {
+		c.hier.ReadTx(c.ID, s.line, sp, func(d []byte) {
+			c.tr.End(sp, uint64(c.p.Now()))
 			data = d
 			done = true
 			c.complete()
@@ -218,7 +227,11 @@ func (c *Core) LoadAsync(a memdata.Addr, n uint64) {
 		c.issue()
 		c.Stats.Loads++
 		line := s.line
-		c.hier.Read(c.ID, line, func([]byte) { c.complete() })
+		sp := c.tr.BeginRoot(txtrace.StageCPULoad, int32(c.ID), uint64(line), uint64(c.p.Now()))
+		c.hier.ReadTx(c.ID, line, sp, func([]byte) {
+			c.tr.End(sp, uint64(c.p.Now()))
+			c.complete()
+		})
 	}
 }
 
@@ -232,7 +245,9 @@ func (c *Core) Store(a memdata.Addr, data []byte) {
 		data = data[s.n:]
 		line := s.line
 		c.pendingStores[line]++
-		c.hier.Write(c.ID, line, s.off, chunk, func() {
+		sp := c.tr.BeginRoot(txtrace.StageCPUStore, int32(c.ID), uint64(line), uint64(c.p.Now()))
+		c.hier.WriteTx(c.ID, line, s.off, chunk, sp, func() {
+			c.tr.EndFlags(sp, uint64(c.p.Now()), txtrace.FlagWrite)
 			c.storeRetired(line)
 			c.complete()
 		})
@@ -265,7 +280,11 @@ func (c *Core) StoreNT(a memdata.Addr, data []byte) {
 		c.Stats.NTStores++
 		line := a + memdata.Addr(i)
 		chunk := append([]byte(nil), data[i:i+memdata.LineSize]...)
-		c.hier.WriteLineNT(c.ID, line, chunk, func() { c.complete() })
+		sp := c.tr.BeginRoot(txtrace.StageCPUNTStore, int32(c.ID), uint64(line), uint64(c.p.Now()))
+		c.hier.WriteLineNTTx(c.ID, line, chunk, sp, func() {
+			c.tr.EndFlags(sp, uint64(c.p.Now()), txtrace.FlagWrite)
+			c.complete()
+		})
 	}
 }
 
@@ -278,8 +297,10 @@ func (c *Core) CLWB(a memdata.Addr) {
 	id := c.wbSeq
 	c.wbInFlight[id] = struct{}{}
 	line := memdata.LineAlign(a)
+	sp := c.tr.BeginRoot(txtrace.StageCPUCLWB, int32(c.ID), uint64(line), uint64(c.p.Now()))
 	fire := func() {
-		c.hier.CLWB(c.ID, line, func() {
+		c.hier.CLWBTx(c.ID, line, sp, func() {
+			c.tr.End(sp, uint64(c.p.Now()))
 			delete(c.wbInFlight, id)
 			c.retireWB(id)
 			c.complete()
@@ -333,9 +354,13 @@ func (c *Core) MCLazy(dst memdata.Range, src memdata.Addr) {
 	}
 	c.issue()
 	c.Stats.MCLazies++
+	sp := c.tr.BeginRoot(txtrace.StageCPUMCLazy, int32(c.ID), uint64(dst.Start), uint64(c.p.Now()))
 	// The packet is FIFO-ordered behind this core's earlier writebacks.
 	c.afterPriorWritebacks(func() {
-		c.lazy.MCLazy(c.ID, dst, src, func() { c.complete() })
+		c.lazy.MCLazy(c.ID, dst, src, sp, func() {
+			c.tr.End(sp, uint64(c.p.Now()))
+			c.complete()
+		})
 	})
 }
 
@@ -346,7 +371,11 @@ func (c *Core) MCFree(r memdata.Range) {
 	}
 	c.issue()
 	c.Stats.MCFrees++
-	c.lazy.MCFree(c.ID, r, func() { c.complete() })
+	sp := c.tr.BeginRoot(txtrace.StageCPUMCFree, int32(c.ID), uint64(r.Start), uint64(c.p.Now()))
+	c.lazy.MCFree(c.ID, r, sp, func() {
+		c.tr.End(sp, uint64(c.p.Now()))
+		c.complete()
+	})
 }
 
 // Fence blocks until every in-flight operation of this core has completed
@@ -387,18 +416,24 @@ func (c *Core) Memcpy(dst, src memdata.Addr, n uint64) {
 		c.Stats.Stores++
 		remaining := len(spans)
 		dstLine, dstOff, dstN := d.line, d.off, d.n
+		ssp := c.tr.BeginRoot(txtrace.StageCPUStore, int32(c.ID), uint64(dstLine), uint64(c.p.Now()))
 		fire := func() {
 			buf := make([]byte, 0, dstN)
 			for _, pt := range parts {
 				buf = append(buf, pt.data[pt.span.off:pt.span.off+pt.span.n]...)
 			}
-			c.hier.Write(c.ID, dstLine, dstOff, buf, func() { c.complete() })
+			c.hier.WriteTx(c.ID, dstLine, dstOff, buf, ssp, func() {
+				c.tr.EndFlags(ssp, uint64(c.p.Now()), txtrace.FlagWrite)
+				c.complete()
+			})
 		}
 		for i, s := range spans {
 			c.issue()
 			c.Stats.Loads++
 			idx := i
-			c.hier.Read(c.ID, s.line, func(data []byte) {
+			lsp := c.tr.BeginRoot(txtrace.StageCPULoad, int32(c.ID), uint64(s.line), uint64(c.p.Now()))
+			c.hier.ReadTx(c.ID, s.line, lsp, func(data []byte) {
+				c.tr.End(lsp, uint64(c.p.Now()))
 				parts[idx].data = data
 				c.complete()
 				remaining--

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"bytes"
 	"os"
 	"runtime"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/txtrace"
 )
 
 // renderFigure decomposes a generator, runs its jobs on the given worker
@@ -78,6 +80,58 @@ func TestParallelDeterminism(t *testing.T) {
 					id, direct, serial)
 			}
 		})
+	}
+}
+
+// renderTrace runs one figure's jobs with full-rate tracing on the given
+// worker count and exports the merged trace document — the cmd/mcfigures
+// -trace path.
+func renderTrace(t *testing.T, g Generator, workers int) string {
+	t.Helper()
+	set := g.Jobs(Options{Quick: true})
+	results := runner.Run(runner.Config{
+		Workers: workers,
+		Options: runner.Options{Quick: true},
+		Trace:   txtrace.Config{Enabled: true, SampleEvery: 1},
+	}, set.Jobs)
+	var tracers []*txtrace.Tracer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("figure %s job %s failed: %v", g.ID, r.ID, r.Err)
+		}
+		tracers = append(tracers, r.Trace...)
+	}
+	var b bytes.Buffer
+	if err := txtrace.Export(&b, tracers); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return b.String()
+}
+
+// TestTraceParallelDeterminism extends the -jobs guarantee to the trace
+// export: a traced figure must produce byte-identical trace JSON whether
+// its jobs ran serially or on a saturated pool, because tracers are merged
+// in job submission order and each machine's recorder depends only on its
+// own deterministic simulation.
+func TestTraceParallelDeterminism(t *testing.T) {
+	g, ok := ByID("2")
+	if !ok {
+		t.Fatal("figure 2 missing")
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := renderTrace(t, g, 1)
+	parallel := renderTrace(t, g, workers)
+	if serial != parallel {
+		t.Fatalf("figure 2 trace differs between 1 and %d workers (lengths %d vs %d)",
+			workers, len(serial), len(parallel))
+	}
+	for _, stage := range []string{"cpu.", "mc.", "dram."} {
+		if !strings.Contains(serial, `"name":"`+stage) {
+			t.Errorf("trace missing spans for stage prefix %q", stage)
+		}
 	}
 }
 

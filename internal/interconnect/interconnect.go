@@ -11,6 +11,7 @@ package interconnect
 
 import (
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Config shapes one link direction.
@@ -35,6 +36,7 @@ type Bus struct {
 	eng  *sim.Engine
 	cfg  Config
 	busy sim.Cycle // cycle until which the link is transmitting
+	tr   *txtrace.Tracer
 
 	Stats Stats
 }
@@ -47,9 +49,16 @@ func New(eng *sim.Engine, cfg Config) *Bus {
 // Config returns the link configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
+// SetTracer attaches the transaction tracer (nil disables).
+func (b *Bus) SetTracer(t *txtrace.Tracer) { b.tr = t }
+
 // Send delivers a message of the given size: fn runs after the hop latency
 // plus any bandwidth-induced queueing.
-func (b *Bus) Send(bytes uint64, fn func()) {
+func (b *Bus) Send(bytes uint64, fn func()) { b.SendTx(bytes, 0, fn) }
+
+// SendTx is Send carrying a transaction id: traced messages record one
+// xcon.hop span covering latency plus queueing.
+func (b *Bus) SendTx(bytes uint64, tx txtrace.Tx, fn func()) {
 	b.Stats.Messages++
 	b.Stats.Bytes += bytes
 	delay := b.cfg.HopLatency
@@ -64,6 +73,10 @@ func (b *Bus) Send(bytes uint64, fn func()) {
 		queued := (start - now) + xfer
 		b.Stats.QueueCycles += uint64(start - now)
 		delay += queued
+	}
+	if tx != 0 {
+		now := b.eng.Now()
+		b.tr.Complete(tx, txtrace.StageXConHop, 0, uint64(now), uint64(now+delay), 0)
 	}
 	b.eng.After(delay, fn)
 }

@@ -20,6 +20,7 @@ import (
 	"mcsquare/internal/interconnect"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Stats counts instruction activity.
@@ -39,9 +40,13 @@ type Unit struct {
 	lazy   *core.Engine
 	hopLat sim.Cycle
 	nMCs   int
+	tr     *txtrace.Tracer
 
 	Stats Stats
 }
+
+// SetTracer attaches the transaction tracer (nil disables).
+func (u *Unit) SetTracer(t *txtrace.Tracer) { u.tr = t }
 
 var _ cpu.LazyIssuer = (*Unit)(nil)
 
@@ -62,13 +67,14 @@ func (u *Unit) bus() *interconnect.Bus { return u.hier.Bus() }
 // MCLazy implements the MCLAZY instruction. dst must be cacheline-aligned
 // with a cacheline-multiple size no larger than a huge page; src may have
 // any alignment. done fires when the CTT has accepted the entry.
-func (u *Unit) MCLazy(coreID int, dst memdata.Range, src memdata.Addr, done func()) {
+func (u *Unit) MCLazy(coreID int, dst memdata.Range, src memdata.Addr, tx txtrace.Tx, done func()) {
 	u.Stats.MCLazies++
 	start := u.eng.Now()
+	psp := u.tr.Begin(tx, txtrace.StageISAPacket, uint64(dst.Start), uint64(start))
 
 	u.Stats.DestInvalidated += uint64(u.hier.InvalidateRange(dst))
 	srcRange := memdata.Range{Start: src, Size: dst.Size}
-	dirty := u.hier.FlushRange(srcRange, func() {
+	dirty := u.hier.FlushRangeTx(srcRange, psp, func() {
 		// The packet is broadcast so every controller inserts the entry
 		// (Fig 6 step 3); the shared-table model makes that one logical
 		// insert, fired on the first endpoint delivery.
@@ -78,10 +84,11 @@ func (u *Unit) MCLazy(coreID int, dst memdata.Range, src memdata.Addr, done func
 				return
 			}
 			fired = true
-			u.lazy.MCLazy(dst, src, func() {
+			u.lazy.MCLazy(dst, src, psp, func() {
 				// The acceptance acknowledgment crosses back to the core.
-				u.bus().Send(16, func() {
+				u.bus().SendTx(16, psp, func() {
 					u.Stats.PacketCycles += uint64(u.eng.Now() - start)
+					u.tr.End(psp, uint64(u.eng.Now()))
 					done()
 				})
 			})
@@ -93,14 +100,18 @@ func (u *Unit) MCLazy(coreID int, dst memdata.Range, src memdata.Addr, done func
 // MCFree implements the MCFREE instruction: CTT entries whose destination
 // lies inside r are dropped. Reads of the freed buffer are undefined until
 // it is rewritten, so cached copies may be left in place.
-func (u *Unit) MCFree(coreID int, r memdata.Range, done func()) {
+func (u *Unit) MCFree(coreID int, r memdata.Range, tx txtrace.Tx, done func()) {
 	u.Stats.MCFrees++
+	psp := u.tr.Begin(tx, txtrace.StageISAPacket, uint64(r.Start), uint64(u.eng.Now()))
 	fired := false
 	u.bus().Broadcast(u.nMCs, func(int) {
 		if fired {
 			return
 		}
 		fired = true
-		u.lazy.MCFree(r, done)
+		u.lazy.MCFree(r, psp, func() {
+			u.tr.End(psp, uint64(u.eng.Now()))
+			done()
+		})
 	})
 }

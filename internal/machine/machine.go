@@ -18,6 +18,7 @@ import (
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Params configures a Machine. DefaultParams mirrors the paper's Table I.
@@ -79,6 +80,11 @@ type Machine struct {
 	// register themselves in their own constructors.
 	Metrics *metrics.Registry
 
+	// Trace is the machine's transaction tracer, handed out by the ambient
+	// txtrace.Collector bound when the machine was built; nil (tracing
+	// disabled) otherwise. Every component holds the same tracer.
+	Trace *txtrace.Tracer
+
 	brk memdata.Addr // bump allocator watermark
 }
 
@@ -123,6 +129,24 @@ func New(p Params) *Machine {
 		m.Cores = append(m.Cores, cpu.New(i, p.CPU, m.Hier, issuer))
 	}
 
+	// Transaction tracing: an ambient collector (bound by the runner or a
+	// cmd binary) hands each machine one tracer; with none bound, Trace is
+	// nil and every SetTracer call below installs the zero-cost disabled
+	// tracer.
+	m.Trace = txtrace.AmbientCollector().NewTracer()
+	for _, mc := range m.MCs {
+		mc.SetTracer(m.Trace)
+	}
+	bus.SetTracer(m.Trace)
+	m.Hier.SetTracer(m.Trace)
+	if p.LazyEnabled {
+		m.Lazy.SetTracer(m.Trace)
+		m.ISA.SetTracer(m.Trace)
+	}
+	for _, c := range m.Cores {
+		c.SetTracer(m.Trace)
+	}
+
 	m.Metrics = metrics.NewRegistry()
 	root := m.Metrics.Scope("")
 	for i, ch := range m.Chans {
@@ -143,6 +167,11 @@ func New(p Params) *Machine {
 	// sim.cycles is the machine's exact simulated-cycle count; the runner
 	// sums it across a job's machines for exact per-job attribution.
 	m.Metrics.CounterFunc("sim.cycles", func() uint64 { return uint64(m.Eng.Now()) })
+	// Per-stage trace latency histograms, only when tracing is on: an
+	// untraced machine's metric name set must not change.
+	if m.Trace != nil {
+		m.Trace.PublishMetrics(root.Scope("txtrace"))
+	}
 
 	// A runner job (or mcsim -stats) binds a metrics.Collector to its
 	// goroutine; every machine built inside hands over its registry so the

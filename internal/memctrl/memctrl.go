@@ -13,21 +13,23 @@ import (
 	"mcsquare/internal/dram"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 // Hook intercepts controller-observed accesses. Implementations run in
 // engine (event) context and must eventually invoke the provided completion
-// callback if they claim an access.
+// callback if they claim an access. tx is the access's transaction-trace
+// id (0 when untraced); hooks thread it into any spans they record.
 type Hook interface {
 	// FilterRead is consulted when a cacheline read arrives at the
 	// controller. Returning true claims the read: the hook must call done
 	// (with the 64-byte line) itself, and the controller takes no action.
-	FilterRead(a memdata.Addr, done func(data []byte)) bool
+	FilterRead(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) bool
 
 	// FilterWrite is consulted when a cacheline write arrives. Returning
 	// true claims the write: the hook must complete it (typically after
 	// lazy copies) and call release when the writer may proceed.
-	FilterWrite(a memdata.Addr, data []byte, release func()) bool
+	FilterWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) bool
 }
 
 // Config sizes a controller's queues and policies.
@@ -57,6 +59,7 @@ func DefaultConfig() Config {
 type pendingWrite struct {
 	addr memdata.Addr
 	data []byte
+	tx   txtrace.Tx // traced writer, for the dram.write span at drain time
 }
 
 // Stats holds controller counters.
@@ -78,6 +81,7 @@ type Controller struct {
 	ch   *dram.Channel
 	phys *memdata.Physical
 	hook Hook
+	tr   *txtrace.Tracer
 
 	rpqUsed     int
 	rpqWaiters  sim.FnQueue
@@ -106,6 +110,9 @@ func New(id int, eng *sim.Engine, cfg Config, ch *dram.Channel, phys *memdata.Ph
 // SetHook installs the access interception hook (nil to remove).
 func (c *Controller) SetHook(h Hook) { c.hook = h }
 
+// SetTracer attaches the transaction tracer (nil disables).
+func (c *Controller) SetTracer(t *txtrace.Tracer) { c.tr = t }
+
 // Channel returns the controller's DRAM channel (for stats).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
@@ -125,31 +132,62 @@ func (c *Controller) WPQOccupancy() float64 {
 // consulted first; otherwise the read is queued and done is called with the
 // line data when DRAM returns it.
 func (c *Controller) ReadLine(a memdata.Addr, done func(data []byte)) {
-	if c.hook != nil && c.hook.FilterRead(a, done) {
+	c.ReadLineTx(a, 0, done)
+}
+
+// ReadLineTx is ReadLine carrying a transaction-trace id.
+func (c *Controller) ReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
+	if c.hook != nil && c.hook.FilterRead(a, tx, done) {
 		return
 	}
-	c.RawReadLine(a, done)
+	c.RawReadLineTx(a, tx, done)
 }
 
 // RawReadLine is ReadLine without hook interception.
 func (c *Controller) RawReadLine(a memdata.Addr, done func(data []byte)) {
+	c.RawReadLineTx(a, 0, done)
+}
+
+// RawReadLineTx is RawReadLine carrying a transaction-trace id: traced
+// reads record an mc.rpq_wait span (zero-length when a slot was free), a
+// dram.read span with the row hit/miss outcome, or an mc.wpq_forward span
+// when serviced from the write queue.
+func (c *Controller) RawReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
 	c.Stats.Reads++
 	// Forward from pending writes: the freshest value may still be queued.
 	if d := c.forward(a); d != nil {
 		c.Stats.Forwards++
+		if tx != 0 {
+			now := uint64(c.eng.Now())
+			c.tr.Complete(tx, txtrace.StageWPQForward, uint64(a), now, now+uint64(c.cfg.AcceptLatency), 0)
+		}
 		c.eng.After(c.cfg.AcceptLatency, func() { done(d) })
 		return
 	}
+	rsp := c.tr.Begin(tx, txtrace.StageRPQWait, uint64(a), uint64(c.eng.Now()))
 	c.acquireRPQ(func() {
+		c.tr.End(rsp, uint64(c.eng.Now()))
 		// Re-check forwarding: a write may have been queued while waiting.
 		if d := c.forward(a); d != nil {
 			c.Stats.Forwards++
 			c.releaseRPQ()
+			if tx != 0 {
+				now := uint64(c.eng.Now())
+				c.tr.Complete(tx, txtrace.StageWPQForward, uint64(a), now, now, 0)
+			}
 			done(d)
 			return
 		}
 		c.pendingRead++
+		rowHits := c.ch.RowHits
 		finish := c.ch.Access(c.eng.Now(), a, false)
+		if tx != 0 {
+			fl := txtrace.FlagRowMiss
+			if c.ch.RowHits > rowHits {
+				fl = txtrace.FlagRowHit
+			}
+			c.tr.Complete(tx, txtrace.StageDRAMRead, uint64(a), uint64(c.eng.Now()), uint64(finish), fl)
+		}
 		c.eng.At(finish, func() {
 			data := c.phys.ReadLine(a)
 			c.pendingRead--
@@ -167,19 +205,39 @@ func (c *Controller) RawReadLine(a memdata.Addr, done func(data []byte)) {
 // that arrives later — guaranteeing as-of-copy data even under queue
 // back-pressure.
 func (c *Controller) RawReadLineSnapshot(a memdata.Addr, done func(data []byte)) {
+	c.RawReadLineSnapshotTx(a, 0, done)
+}
+
+// RawReadLineSnapshotTx is RawReadLineSnapshot carrying a transaction-trace
+// id (same spans as RawReadLineTx).
+func (c *Controller) RawReadLineSnapshotTx(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
 	c.Stats.Reads++
 	var data []byte
 	if d := c.forward(a); d != nil {
 		c.Stats.Forwards++
 		data = make([]byte, memdata.LineSize)
 		copy(data, d)
+		if tx != 0 {
+			now := uint64(c.eng.Now())
+			c.tr.Complete(tx, txtrace.StageWPQForward, uint64(a), now, now+uint64(c.cfg.AcceptLatency), 0)
+		}
 		c.eng.After(c.cfg.AcceptLatency, func() { done(data) })
 		return
 	}
 	data = c.phys.ReadLine(a)
+	rsp := c.tr.Begin(tx, txtrace.StageRPQWait, uint64(a), uint64(c.eng.Now()))
 	c.acquireRPQ(func() {
+		c.tr.End(rsp, uint64(c.eng.Now()))
 		c.pendingRead++
+		rowHits := c.ch.RowHits
 		finish := c.ch.Access(c.eng.Now(), a, false)
+		if tx != 0 {
+			fl := txtrace.FlagRowMiss
+			if c.ch.RowHits > rowHits {
+				fl = txtrace.FlagRowHit
+			}
+			c.tr.Complete(tx, txtrace.StageDRAMRead, uint64(a), uint64(c.eng.Now()), uint64(finish), fl)
+		}
 		c.eng.At(finish, func() {
 			c.pendingRead--
 			c.releaseRPQ()
@@ -193,10 +251,15 @@ func (c *Controller) RawReadLineSnapshot(a memdata.Addr, done func(data []byte))
 // the write is buffered in the WPQ and release is called once a slot is
 // held (posted-write semantics; DRAM completion happens later).
 func (c *Controller) WriteLine(a memdata.Addr, data []byte, release func()) {
-	if c.hook != nil && c.hook.FilterWrite(a, data, release) {
+	c.WriteLineTx(a, data, 0, release)
+}
+
+// WriteLineTx is WriteLine carrying a transaction-trace id.
+func (c *Controller) WriteLineTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
+	if c.hook != nil && c.hook.FilterWrite(a, data, tx, release) {
 		return
 	}
-	c.RawWriteLine(a, data, release)
+	c.RawWriteLineTx(a, data, tx, release)
 }
 
 // WriteLineOwned is WriteLine with ownership transfer: the caller hands
@@ -207,20 +270,30 @@ func (c *Controller) WriteLine(a memdata.Addr, data []byte, release func()) {
 // hottest store path. Hook implementations observe the data during the
 // FilterWrite call and must copy anything they keep (they do).
 func (c *Controller) WriteLineOwned(a memdata.Addr, data []byte, release func()) {
-	if c.hook != nil && c.hook.FilterWrite(a, data, release) {
+	c.WriteLineOwnedTx(a, data, 0, release)
+}
+
+// WriteLineOwnedTx is WriteLineOwned carrying a transaction-trace id.
+func (c *Controller) WriteLineOwnedTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
+	if c.hook != nil && c.hook.FilterWrite(a, data, tx, release) {
 		return
 	}
-	c.RawWriteLineOwned(a, data, release)
+	c.RawWriteLineOwnedTx(a, data, tx, release)
 }
 
 // RawWriteLine is WriteLine without hook interception.
 func (c *Controller) RawWriteLine(a memdata.Addr, data []byte, release func()) {
+	c.RawWriteLineTx(a, data, 0, release)
+}
+
+// RawWriteLineTx is RawWriteLine carrying a transaction-trace id.
+func (c *Controller) RawWriteLineTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
 	if len(data) != memdata.LineSize {
 		panic("memctrl: WriteLine with partial line")
 	}
 	cp := make([]byte, memdata.LineSize)
 	copy(cp, data)
-	c.RawWriteLineOwned(a, cp, release)
+	c.RawWriteLineOwnedTx(a, cp, tx, release)
 }
 
 // RawWriteLineOwned is RawWriteLine with ownership transfer (see
@@ -228,12 +301,21 @@ func (c *Controller) RawWriteLine(a memdata.Addr, data []byte, release func()) {
 // until the write lands, which is safe precisely because nobody mutates
 // it after the handoff.
 func (c *Controller) RawWriteLineOwned(a memdata.Addr, data []byte, release func()) {
+	c.RawWriteLineOwnedTx(a, data, 0, release)
+}
+
+// RawWriteLineOwnedTx is RawWriteLineOwned carrying a transaction-trace
+// id: traced writes record an mc.wpq_wait span covering the slot wait plus
+// accept latency, and a dram.write span when the drain issues the line.
+func (c *Controller) RawWriteLineOwnedTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
 	if len(data) != memdata.LineSize {
 		panic("memctrl: WriteLine with partial line")
 	}
 	c.Stats.Writes++
+	wsp := c.tr.Begin(tx, txtrace.StageWPQWait, uint64(a), uint64(c.eng.Now()))
 	c.acquireWPQ(func() {
-		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: data})
+		c.tr.EndFlags(wsp, uint64(c.eng.Now())+uint64(c.cfg.AcceptLatency), txtrace.FlagWrite)
+		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: data, tx: tx})
 		c.eng.After(c.cfg.AcceptLatency, release)
 		c.maybeDrain()
 	})
@@ -335,7 +417,15 @@ func (c *Controller) maybeDrain() {
 		}
 		w := c.popWrite()
 		c.inFlightWr[w.addr] = w.data
+		rowHits := c.ch.RowHits
 		finish := c.ch.Access(c.eng.Now(), w.addr, true)
+		if w.tx != 0 {
+			fl := txtrace.FlagWrite | txtrace.FlagRowMiss
+			if c.ch.RowHits > rowHits {
+				fl = txtrace.FlagWrite | txtrace.FlagRowHit
+			}
+			c.tr.Complete(w.tx, txtrace.StageDRAMWrite, uint64(w.addr), uint64(c.eng.Now()), uint64(finish), fl)
+		}
 		c.eng.At(finish, func() {
 			c.phys.WriteLine(w.addr, w.data)
 			// Only clear the in-flight entry if a newer write to the same

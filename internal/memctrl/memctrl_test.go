@@ -7,6 +7,7 @@ import (
 	"mcsquare/internal/dram"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
 )
 
 func newTestMC(eng *sim.Engine) (*Controller, *memdata.Physical) {
@@ -169,12 +170,12 @@ type claimAllHook struct {
 	reads, writes int
 }
 
-func (h *claimAllHook) FilterRead(a memdata.Addr, done func([]byte)) bool {
+func (h *claimAllHook) FilterRead(a memdata.Addr, tx txtrace.Tx, done func([]byte)) bool {
 	h.reads++
 	done(make([]byte, memdata.LineSize))
 	return true
 }
-func (h *claimAllHook) FilterWrite(a memdata.Addr, data []byte, release func()) bool {
+func (h *claimAllHook) FilterWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) bool {
 	h.writes++
 	release()
 	return true

@@ -20,6 +20,7 @@ import (
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/txtrace"
 )
 
 // Options scales the experiments, mirroring figures.Options. Jobs produced
@@ -60,6 +61,9 @@ type Result struct {
 	Tables  []*stats.Table
 	Err     error
 	Metrics Metrics
+	// Trace holds one tracer per machine the job built, in construction
+	// order. Empty unless Config.Trace enabled tracing.
+	Trace []*txtrace.Tracer
 }
 
 // Config shapes one Run call.
@@ -73,6 +77,10 @@ type Config struct {
 	// Progress, when non-nil, receives a live one-line status ("\r"-
 	// rewritten) plus a final newline. Point it at os.Stderr.
 	Progress io.Writer
+	// Trace configures transaction tracing for every machine the jobs
+	// build. With Enabled false (the default) nothing is recorded and the
+	// simulation runs the zero-cost disabled path.
+	Trace txtrace.Config
 }
 
 // Run executes the jobs on the pool and returns one Result per job, in
@@ -117,7 +125,7 @@ func Run(cfg Config, jobs []Job) []Result {
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runOne(i, jobs[i], cfg.Options)
+				results[i] = runOne(i, jobs[i], cfg)
 				done.Add(1)
 				progress(&results[i])
 			}
@@ -139,16 +147,19 @@ func Run(cfg Config, jobs []Job) []Result {
 // the job built once it finishes: a job that abandons an engine mid-run
 // (bounded runs, panics) would otherwise leak one goroutine per process
 // still parked in it, accumulating across jobs.
-func runOne(index int, job Job, o Options) (res Result) {
+func runOne(index int, job Job, cfg Config) (res Result) {
 	res = Result{ID: job.ID, Index: index}
 	start := time.Now()
 	col := metrics.NewCollector()
 	release := col.Bind()
 	trk := sim.NewTracker()
 	releaseTrk := trk.Bind()
+	tcol := txtrace.NewCollector(cfg.Trace) // nil when tracing is disabled
+	releaseTrace := tcol.Bind()
 	defer func() {
 		release()
 		releaseTrk()
+		releaseTrace()
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("job %s panicked: %v", job.ID, p)
 			res.Tables = nil
@@ -158,10 +169,11 @@ func runOne(index int, job Job, o Options) (res Result) {
 			res.Metrics.Snapshot = snap
 			res.Metrics.SimCycles = snap.Counter("sim.cycles")
 		}
+		res.Trace = tcol.Tracers()
 		trk.CloseAll()
 		res.Metrics.Wall = time.Since(start)
 	}()
-	res.Tables = job.Run(o)
+	res.Tables = job.Run(cfg.Options)
 	res.Metrics.NumTables = len(res.Tables)
 	for _, tb := range res.Tables {
 		if n := tb.NumRows(); n > res.Metrics.PeakRows {

@@ -54,14 +54,8 @@ func (p *Proc) resume() {
 	if p.finished {
 		panic("sim: waking process " + p.name + " after it finished (stale wakeup)")
 	}
-	if procTrace {
-		trace("resume(%s) at %d: sending wake", p.name, p.eng.now)
-	}
 	p.wake <- struct{}{}
 	<-p.yield
-	if procTrace {
-		trace("resume(%s): got yield", p.name)
-	}
 }
 
 // Engine returns the engine this process runs under.
@@ -75,9 +69,6 @@ func (p *Proc) Now() Cycle { return p.eng.Now() }
 
 // Wait parks the process for delay cycles of simulated time.
 func (p *Proc) Wait(delay Cycle) {
-	if procTrace {
-		trace("Wait(%s, %d) at %d", p.name, delay, p.eng.now)
-	}
 	p.eng.After(delay, p.resumeFn)
 	p.park()
 }
@@ -96,9 +87,6 @@ func (p *Proc) WaitUntil(when Cycle) {
 // call Resume. Use for waiting on asynchronous completions (memory
 // responses, queue-slot availability).
 func (p *Proc) Suspend() {
-	if procTrace {
-		trace("Suspend(%s)", p.name)
-	}
 	p.suspended = true
 	p.park()
 }
@@ -113,9 +101,6 @@ func (p *Proc) Resume() {
 		panic("sim: Resume of process " + p.name + " that is not suspended")
 	}
 	p.suspended = false
-	if procTrace {
-		trace("Resume(%s) scheduled at %d", p.name, p.eng.now)
-	}
 	p.eng.After(0, p.resumeFn)
 }
 
@@ -127,18 +112,12 @@ func (p *Proc) park() {
 		// a wake that will never come.
 		runtime.Goexit()
 	}
-	if procTrace {
-		trace("park(%s) at %d", p.name, p.eng.now)
-	}
 	p.yield <- struct{}{}
 	<-p.wake
 	if p.aborted {
 		// Engine.Close released us: unwind (running deferred calls); the
 		// spawn wrapper's defer acknowledges termination to Close.
 		runtime.Goexit()
-	}
-	if procTrace {
-		trace("unpark(%s) at %d", p.name, p.eng.now)
 	}
 }
 

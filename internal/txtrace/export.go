@@ -1,0 +1,245 @@
+package txtrace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// Chrome/Perfetto trace-event JSON export
+// ---------------------------------------------------------------------------
+//
+// The format is the Chrome trace-event JSON array ("traceEvents" with
+// ph:"X" complete events and ph:"M" metadata), which Perfetto's UI loads
+// directly. ts and dur are simulated cycles (Perfetto renders them as
+// microseconds; only relative magnitudes matter). pid is the tracer's index
+// in the export — one "process" per simulated machine — and tid is the
+// span's track (CPU core id, or the synthetic engine/orphan tracks).
+//
+// Output is deterministic: tracers in caller order, spans in id order,
+// hand-formatted fields. Two runs of the same deterministic simulation
+// export byte-identical traces.
+
+// tidFor maps a span track to a Chrome thread id (tids must be >= 0).
+func tidFor(track int32) int32 {
+	switch track {
+	case TrackEngine:
+		return 1000
+	case TrackOrphan:
+		return 1001
+	default:
+		return track
+	}
+}
+
+func trackName(track int32) string {
+	switch track {
+	case TrackEngine:
+		return "mc2-engine"
+	case TrackOrphan:
+		return "orphan"
+	default:
+		return fmt.Sprintf("core%d", track)
+	}
+}
+
+// flagString renders annotation flags (FlagDone is implied and omitted).
+func flagString(f Flags) string {
+	var b []byte
+	add := func(s string) {
+		if len(b) > 0 {
+			b = append(b, '|')
+		}
+		b = append(b, s...)
+	}
+	if f&FlagWrite != 0 {
+		add("write")
+	}
+	if f&FlagRowHit != 0 {
+		add("row_hit")
+	}
+	if f&FlagRowMiss != 0 {
+		add("row_miss")
+	}
+	if f&FlagRejected != 0 {
+		add("rejected")
+	}
+	return string(b)
+}
+
+// Export writes the tracers' flight recorders as one Chrome trace-event
+// JSON document. Nil tracers are skipped (but still consume a pid slot, so
+// machine numbering is stable across configurations).
+func Export(w io.Writer, tracers []*Tracer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(line)
+	}
+	for pid, t := range tracers {
+		if t == nil {
+			continue
+		}
+		spans := t.Spans()
+		// Metadata: name the process and every track that appears.
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine%d"}}`, pid, pid))
+		tracks := map[int32]bool{}
+		var order []int32
+		for _, sp := range spans {
+			if !tracks[sp.Track] {
+				tracks[sp.Track] = true
+				order = append(order, sp.Track)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return tidFor(order[i]) < tidFor(order[j]) })
+		for _, tr := range order {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+				pid, tidFor(tr), trackName(tr)))
+		}
+		for _, sp := range spans {
+			line := fmt.Sprintf(`{"name":"%s","cat":"mem","ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":{"span":%d,"tx":%d`,
+				sp.Stage, pid, tidFor(sp.Track), sp.Start, sp.End-sp.Start, sp.ID, sp.Root)
+			if sp.Parent != 0 {
+				line += `,"parent":` + strconv.FormatUint(sp.Parent, 10)
+			}
+			line += `,"addr":"0x` + strconv.FormatUint(sp.Addr, 16) + `"`
+			if fs := flagString(sp.Flags); fs != "" {
+				line += `,"flags":"` + fs + `"`
+			}
+			line += "}}"
+			emit(line)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// Dump writes this tracer's flight recorder alone — the anomaly-hook path.
+func (t *Tracer) Dump(w io.Writer) error {
+	return Export(w, []*Tracer{t})
+}
+
+// ---------------------------------------------------------------------------
+// Collector: ambient per-goroutine tracer registration
+// ---------------------------------------------------------------------------
+
+// Collector gathers the tracer of every machine built while it is bound to
+// a goroutine, mirroring metrics.Collector: the runner (or a cmd binary)
+// binds one around a run, machine.New asks AmbientCollector() for a
+// tracer, and the caller exports all of them afterwards. A nil Collector
+// (tracing disabled) hands out nil tracers.
+type Collector struct {
+	cfg Config
+	mu  sync.Mutex
+	trs []*Tracer
+}
+
+// NewCollector builds a collector that hands out tracers configured by
+// cfg. Returns nil when cfg.Enabled is false, so callers can bind
+// unconditionally and pay nothing when tracing is off.
+func NewCollector(cfg Config) *Collector {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Collector{cfg: cfg}
+}
+
+// NewTracer creates, records, and returns one tracer (nil from a nil
+// collector). Safe to call from any goroutine.
+func (c *Collector) NewTracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	t := New(c.cfg)
+	c.mu.Lock()
+	c.trs = append(c.trs, t)
+	c.mu.Unlock()
+	return t
+}
+
+// Tracers returns the collected tracers in creation order.
+func (c *Collector) Tracers() []*Tracer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Tracer(nil), c.trs...)
+}
+
+// Export writes every collected tracer as one trace document.
+func (c *Collector) Export(w io.Writer) error {
+	return Export(w, c.Tracers())
+}
+
+// ambient maps goroutine id → bound collector (same pattern as
+// metrics.Collector: bind/lookup only at job boundaries and machine
+// construction, never per event).
+var (
+	ambientMu sync.Mutex
+	ambient   = map[uint64]*Collector{}
+)
+
+// Bind attaches c to the calling goroutine and returns a release func that
+// restores whatever was bound before. Binding a nil collector is a no-op
+// that still returns a valid release func.
+func (c *Collector) Bind() (release func()) {
+	if c == nil {
+		return func() {}
+	}
+	id := goid()
+	ambientMu.Lock()
+	prev, had := ambient[id]
+	ambient[id] = c
+	ambientMu.Unlock()
+	return func() {
+		ambientMu.Lock()
+		if had {
+			ambient[id] = prev
+		} else {
+			delete(ambient, id)
+		}
+		ambientMu.Unlock()
+	}
+}
+
+// AmbientCollector returns the collector bound to the calling goroutine,
+// or nil (machine.New then runs untraced).
+func AmbientCollector() *Collector {
+	ambientMu.Lock()
+	defer ambientMu.Unlock()
+	if len(ambient) == 0 {
+		return nil // nothing bound anywhere: skip the goid parse
+	}
+	return ambient[goid()]
+}
+
+// goid parses the calling goroutine's id from its stack header (same
+// helper as package metrics keeps privately; called only at bind points
+// and machine construction).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic("txtrace: cannot parse goroutine id from stack header")
+	}
+	return id
+}

@@ -1,0 +1,31 @@
+package txtrace
+
+import "mcsquare/internal/metrics"
+
+// PublishMetrics registers the tracer's per-stage latency distributions
+// into a metrics scope (machine.New passes Scope("txtrace")): one
+// histogram per stage ("txtrace.mc.rpq_wait") plus p50/p95/p99 gauges
+// computed on demand — snapshots only carry a histogram's count and sum,
+// so the percentiles each get a gauge of their own to survive into
+// mcfigures -stats output. Registration happens only when a tracer is
+// attached: an untraced machine's metric name set is unchanged (the
+// figures golden test pins it).
+func (t *Tracer) PublishMetrics(s metrics.Scope) {
+	if t == nil {
+		return
+	}
+	for st := Stage(0); st < numStages; st++ {
+		h := &t.hists[st]
+		name := stageNames[st]
+		s.Histogram(name, h)
+		s.Gauge(name+".p50", func() float64 { return h.Percentile(50) })
+		s.Gauge(name+".p95", func() float64 { return h.Percentile(95) })
+		s.Gauge(name+".p99", func() float64 { return h.Percentile(99) })
+	}
+	s.CounterFunc("spans", func() uint64 { return t.nextID - 1 })
+	s.Counter("spans_lost", &t.spansLost)
+	s.CounterFunc("roots_seen", func() uint64 { return t.rootsSeen })
+	for k := AnomalyKind(0); k < numAnomalyKinds; k++ {
+		s.Counter("anomalies."+k.String(), &t.anomCounts[k])
+	}
+}
