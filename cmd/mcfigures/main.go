@@ -22,6 +22,16 @@
 // the flight recorders into one Chrome trace-event JSON document in job
 // submission order, so the trace too is byte-identical at any -jobs value.
 // -trace-sample N records every Nth memory operation (1 = all).
+//
+// -faults injects a deterministic fault schedule (a bare seed like 0xC0FFEE
+// or a schedule JSON file) into every job's machines; because each job binds
+// its own fault plane, the injected run stays byte-identical at any -jobs
+// value. With -out set, the resolved schedule is written to
+// <out>/fault_schedule.json so a chaos run can be replayed exactly.
+// -invariants enables the runtime correctness oracles in every job;
+// violations fail the job (reported per job, exit non-zero).
+// -cycle-budget N fails any job whose simulation exceeds N cycles — the
+// livelock backstop for chaos runs.
 package main
 
 import (
@@ -33,7 +43,9 @@ import (
 	"strings"
 	"time"
 
+	"mcsquare/internal/faultinject"
 	"mcsquare/internal/figures"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
@@ -57,6 +69,9 @@ func main() {
 		statsOut = flag.String("stats", "", "write run-wide aggregated metrics (merged over all jobs) as JSON to this file; - for stdout")
 		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
 		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
+		faults   = flag.String("faults", "", "inject a deterministic fault schedule into every job: a seed (e.g. 0xC0FFEE) or a schedule JSON file")
+		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles in every job; violations fail the job")
+		budget   = flag.Uint64("cycle-budget", 0, "fail any job whose simulation exceeds this many cycles (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -88,6 +103,30 @@ func main() {
 		}
 	}
 
+	var fsched *faultinject.Schedule
+	if *faults != "" {
+		s, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		fsched = &s
+		if *out != "" {
+			// The reproduction artifact: replaying this file (or the bare
+			// seed) regenerates the exact same fault sequence.
+			p := filepath.Join(*out, "fault_schedule.json")
+			if err := s.WriteJSON(p); err != nil {
+				fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
+		}
+	}
+	var icfg invariant.Config
+	if *invar {
+		icfg = invariant.All()
+	}
+
 	// Validate the trace destination before any job runs: an unwritable
 	// path should fail in milliseconds, not after the whole sweep.
 	var traceFile *os.File
@@ -114,11 +153,26 @@ func main() {
 
 	start := time.Now()
 	results := runner.Run(runner.Config{
-		Workers:  *jobs,
-		Options:  runner.Options{Quick: *quick},
-		Progress: os.Stderr,
-		Trace:    txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN},
+		Workers:     *jobs,
+		Options:     runner.Options{Quick: *quick},
+		Progress:    os.Stderr,
+		Trace:       txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN},
+		Faults:      fsched,
+		Invariants:  icfg,
+		CycleBudget: *budget,
 	}, all)
+
+	// Per-job diagnostics from the hardened runner: invariant violations in
+	// deterministic order, and jobs that only succeeded on the
+	// infrastructure retry.
+	for _, r := range results {
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "mcfigures: %s: %s\n", r.ID, v)
+		}
+		if r.Attempts > 1 && r.Err == nil {
+			fmt.Fprintf(os.Stderr, "mcfigures: %s: succeeded on retry %d\n", r.ID, r.Attempts)
+		}
+	}
 
 	// Assemble and emit figures in submission order. Failures (a panicking
 	// job, an unwritable file) are collected, not fatal: the remaining
@@ -185,6 +239,16 @@ func main() {
 	if len(errs) > 0 {
 		for _, err := range errs {
 			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+		}
+		var failed int
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "mcfigures: %d of %d job(s) failed; figures whose jobs all succeeded were still written\n",
+				failed, len(all))
 		}
 		os.Exit(1)
 	}

@@ -22,6 +22,13 @@
 // (ui.perfetto.dev) or chrome://tracing. -trace-sample N records every Nth
 // memory operation (1 = all). Tracing also adds per-stage latency
 // histograms (txtrace.*) to the -stats output.
+//
+// -faults injects a deterministic fault schedule (a bare seed like
+// 0xC0FFEE, or a schedule JSON file) into every machine of the run;
+// -invariants turns on the runtime correctness oracles (shadow-memory
+// integrity, liveness watchdog, queue bounds) and exits non-zero when any
+// violation is recorded. Both add faultinject.*/invariant.* metrics to
+// -stats output.
 package main
 
 import (
@@ -31,6 +38,8 @@ import (
 	"strings"
 
 	"mcsquare/internal/copykit"
+	"mcsquare/internal/faultinject"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/oskern"
@@ -102,6 +111,8 @@ func main() {
 		statsOut = flag.String("stats", "", "write the run's metrics registry as JSON to this file; - for stdout")
 		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
 		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
+		faults   = flag.String("faults", "", "inject a deterministic fault schedule: a seed (e.g. 0xC0FFEE) or a schedule JSON file")
+		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles (shadow memory, liveness watchdog, queue bounds); violations exit non-zero")
 	)
 	flag.Parse()
 
@@ -136,15 +147,51 @@ func main() {
 		fatal("-trace: %v", err)
 	}
 
+	var fsched *faultinject.Schedule
+	if *faults != "" {
+		s, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fatal("-faults: %v", err)
+		}
+		fsched = &s
+	}
+	var icfg invariant.Config
+	if *invar {
+		icfg = invariant.All()
+	}
+
 	// Collect the registry of every machine the workload builds (some
 	// build theirs internally), so -stats sees the whole run.
 	col := metrics.NewCollector()
 	release := col.Bind()
 	tcol := txtrace.NewCollector(txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN})
 	releaseTrace := tcol.Bind()
+	fcol := faultinject.NewCollector(fsched)
+	releaseFaults := fcol.Bind()
+	icol := invariant.NewCollector(icfg)
+	releaseInv := icol.Bind()
 	w.run(options{mech: *mech, threads: *threads, frac: *frac, size: *size, quick: *quick})
 	release()
 	releaseTrace()
+	releaseFaults()
+	releaseInv()
+
+	if fcol != nil {
+		fmt.Printf("faultinject: %d fault(s) fired (schedule seed %#x)\n",
+			fcol.FiredTotal(), fcol.Schedule().Seed)
+	}
+	if icol != nil {
+		var checks, skips uint64
+		for _, o := range icol.Oracles() {
+			c, s, _ := o.Checks()
+			checks, skips = checks+c, skips+s
+		}
+		if n := icol.TotalViolations(); n > 0 {
+			icol.Report(os.Stderr)
+			os.Exit(1)
+		}
+		fmt.Printf("invariant: 0 violations (%d checks, %d skipped)\n", checks, skips)
+	}
 
 	if traceFile != nil {
 		if err := tcol.Export(traceFile); err != nil {

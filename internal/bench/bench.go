@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"mcsquare/internal/figures"
+	"mcsquare/internal/invariant"
+	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
 	"mcsquare/internal/txtrace"
@@ -223,6 +225,51 @@ func benchTraceOn(b *testing.B) {
 	}
 }
 
+// invariantOp replays the oracle consultations one hooked read/write pair
+// costs the memory system — a watchdog registration, two queue-occupancy
+// checks, a shadow read comparison, and a shadow write observation. With o
+// nil (oracles off) every call is a nil-receiver no-op and must not
+// allocate.
+func invariantOp(o *invariant.Oracles, buf []byte, i int) {
+	a := memdata.Addr(i&1023) * memdata.LineSize
+	id := o.TxBegin(uint64(a))
+	o.CheckQueue("rpq", i&15, 16)
+	o.CheckRead(a, buf, sim.Cycle(i))
+	o.ObserveWrite(a, buf)
+	o.CheckQueue("rpq", i&15, 16)
+	o.TxEnd(id)
+}
+
+// benchInvariantsOff measures the oracles' disabled path: the exact call
+// pattern of benchInvariantsOn against nil oracles. This is the overhead
+// every unchecked simulation pays, and it must stay at 0 allocs/op.
+func benchInvariantsOff(b *testing.B) {
+	b.ReportAllocs()
+	var o *invariant.Oracles
+	buf := make([]byte, memdata.LineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invariantOp(o, buf, i)
+	}
+}
+
+// benchInvariantsOn measures the full oracle set (shadow byte-compare,
+// watchdog bookkeeping, queue checks) per memory op — the cost of running
+// a chaos/-invariants sweep.
+func benchInvariantsOn(b *testing.B) {
+	b.ReportAllocs()
+	col := invariant.NewCollector(invariant.All())
+	o := col.NewOracles(sim.NewEngine(), nil)
+	buf := make([]byte, memdata.LineSize)
+	for i := 0; i < 1024; i++ { // pre-populate the shadow: steady-state cost
+		invariantOp(o, buf, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invariantOp(o, buf, i)
+	}
+}
+
 type microBench struct {
 	name string
 	fn   func(b *testing.B)
@@ -236,6 +283,8 @@ var microBenches = []microBench{
 	{"proc/suspend-resume", benchSuspendResume},
 	{"trace/off", benchTraceOff},
 	{"trace/on-1pct", benchTraceOn},
+	{"invariants/off", benchInvariantsOff},
+	{"invariants/on", benchInvariantsOn},
 }
 
 // EngineMicro runs the engine microbenchmark suite, filtered by the

@@ -60,3 +60,18 @@ func TestTraceOffAllocatesNothing(t *testing.T) {
 		t.Fatalf("disabled tracer path allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestInvariantsOffAllocatesNothing pins the oracles' disabled-path cost:
+// the invariants/off microbenchmark — the per-memory-op oracle
+// consultation pattern against nil oracles — must report zero allocations
+// per op, so an unchecked simulation pays only nil checks for the
+// instrumentation.
+func TestInvariantsOffAllocatesNothing(t *testing.T) {
+	buf := make([]byte, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		invariantOp(nil, buf, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled oracle path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mcsquare/internal/interconnect"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
@@ -172,6 +173,10 @@ type Hierarchy struct {
 	route func(memdata.Addr) *memctrl.Controller
 	bus   *interconnect.Bus // cache <-> controller link
 	tr    *txtrace.Tracer
+	inv   *invariant.Oracles
+	// Per-core MSHR file names for occupancy violations, precomputed so
+	// the checks allocate nothing.
+	mshrNames []string
 
 	mshrs      []map[memdata.Addr]*mshr // per core, demand misses
 	mshrUsed   []int
@@ -221,6 +226,17 @@ func (h *Hierarchy) Bus() *interconnect.Bus { return h.bus }
 
 // SetTracer attaches the transaction tracer (nil disables).
 func (h *Hierarchy) SetTracer(t *txtrace.Tracer) { h.tr = t }
+
+// SetInvariants attaches the machine's invariant oracles (nil disables).
+func (h *Hierarchy) SetInvariants(o *invariant.Oracles) {
+	h.inv = o
+	if o.QueuesOn() {
+		h.mshrNames = make([]string, h.cfg.Cores)
+		for i := range h.mshrNames {
+			h.mshrNames[i] = fmt.Sprintf("core%d.mshr", i)
+		}
+	}
+}
 
 func checkLine(a memdata.Addr) {
 	if !memdata.IsLineAligned(a) {
@@ -309,6 +325,9 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, tx txtrace.Tx, done func(
 		return
 	}
 	h.mshrUsed[core]++
+	if h.inv.QueuesOn() {
+		h.inv.CheckQueue(h.mshrNames[core], h.mshrUsed[core], h.cfg.MSHRsPerCore)
+	}
 	m := h.getMSHR(done)
 	h.mshrs[core][a] = m
 
@@ -319,6 +338,9 @@ func (h *Hierarchy) missToL2(core int, a memdata.Addr, tx txtrace.Tx, done func(
 			}
 			delete(h.mshrs[core], a)
 			h.mshrUsed[core]--
+			if h.inv.QueuesOn() {
+				h.inv.CheckQueue(h.mshrNames[core], h.mshrUsed[core], h.cfg.MSHRsPerCore)
+			}
 			for _, w := range m.waiters {
 				w(append([]byte(nil), data...))
 			}

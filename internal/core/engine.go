@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"mcsquare/internal/faultinject"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
@@ -33,6 +35,19 @@ type Params struct {
 	// DisableMerge turns off CTT adjacency merging (ablation): contiguous
 	// copies then consume one entry each, pressuring capacity.
 	DisableMerge bool
+
+	// EagerCopyFrac is the graceful-degradation high-water mark: when CTT
+	// occupancy reaches this fraction of capacity, an accepted MCLAZY is
+	// immediately materialized (the entry is inserted for correctness, then
+	// eagerly copied and evicted) so the table cannot wedge under pressure.
+	// 0 disables the fallback (the default; timing is unchanged).
+	EagerCopyFrac float64
+	// WritebackRetries bounds how often a rejected bounce writeback is
+	// retried with exponential backoff before giving up. 0 (the default)
+	// keeps the paper's drop-on-reject behavior.
+	WritebackRetries int
+	// WritebackBackoff is the initial retry delay, doubled per attempt.
+	WritebackBackoff sim.Cycle
 }
 
 // DefaultParams returns the paper's configuration.
@@ -47,6 +62,7 @@ func DefaultParams() Params {
 		WPQRejectFrac:     0.75,
 		FreePacing:        160,
 		WritebackOnBounce: true,
+		WritebackBackoff:  64,
 	}
 }
 
@@ -75,6 +91,14 @@ type EngineStats struct {
 	Frees      uint64 // entries evicted by asynchronous freeing
 	FreedBytes uint64
 	MCFrees    uint64 // MCFREE operations
+
+	EagerFallbacks     uint64 // MCLAZY ops eagerly materialized (CTT high-water)
+	EagerFallbackBytes uint64
+	ForcedEvictions    uint64 // CTT entries evicted by injected faults
+
+	WritebackRetries        uint64 // rejected writebacks retried with backoff
+	WritebackRetrySuccesses uint64 // retried writebacks that eventually landed
+	WritebackRetryGiveups   uint64 // retried writebacks that exhausted attempts
 }
 
 type heldWrite struct {
@@ -107,6 +131,10 @@ type Engine struct {
 	mcs   []*memctrl.Controller
 	route func(memdata.Addr) int
 	tr    *txtrace.Tracer
+
+	flt      *faultinject.Plane // nil when no fault schedule is active
+	inv      *invariant.Oracles // nil when invariant oracles are off
+	bpqNames []string           // precomputed BPQ queue names for occupancy checks
 
 	bpqs        []bpq
 	held        map[memdata.Addr]*heldWrite
@@ -149,6 +177,20 @@ func (e *Engine) CTT() *CTT { return e.ctt }
 // SetTracer attaches the transaction tracer (nil disables).
 func (e *Engine) SetTracer(t *txtrace.Tracer) { e.tr = t }
 
+// SetFaults attaches the machine's fault-injection plane (nil disables).
+func (e *Engine) SetFaults(p *faultinject.Plane) { e.flt = p }
+
+// SetInvariants attaches the machine's invariant oracles (nil disables).
+func (e *Engine) SetInvariants(o *invariant.Oracles) {
+	e.inv = o
+	if o.QueuesOn() {
+		e.bpqNames = make([]string, len(e.mcs))
+		for i := range e.bpqNames {
+			e.bpqNames[i] = fmt.Sprintf("bpq%d", i)
+		}
+	}
+}
+
 // Idle reports whether no lazy-copy machinery is in flight.
 func (e *Engine) Idle() bool {
 	return len(e.held) == 0 && len(e.heldWaiters) == 0 && len(e.pending) == 0 && e.freeWorkers == 0
@@ -188,6 +230,7 @@ func (e *Engine) filterRead(mc int, a memdata.Addr, tx txtrace.Tx, done func([]b
 			e.tr.Complete(tx, txtrace.StageBPQForward, uint64(a), now, now+uint64(e.p.CTTLatency), 0)
 		}
 		data := append([]byte(nil), hw.data...)
+		e.inv.CheckRead(a, data, e.eng.Now())
 		e.eng.After(e.p.CTTLatency, func() { done(data) })
 		return true
 	}
@@ -205,9 +248,13 @@ func (e *Engine) filterRead(mc int, a memdata.Addr, tx txtrace.Tx, done func([]b
 	}
 	e.eng.After(e.p.CTTLatency+e.p.HopLatency, func() {
 		gen := e.destGen[a]
+		// The composed value is bound here: composeDestLine queries the CTT
+		// and snapshots every source at call time.
+		bound := e.eng.Now()
 		e.composeDestLine(a, bsp, func(data []byte) {
 			e.eng.After(e.p.HopLatency, func() {
 				e.tr.End(bsp, uint64(e.eng.Now()))
+				e.inv.CheckRead(a, data, bound)
 				done(data)
 			})
 			e.maybeWriteback(a, gen, bsp, data)
@@ -218,20 +265,47 @@ func (e *Engine) filterRead(mc int, a memdata.Addr, tx txtrace.Tx, done func([]b
 
 // maybeWriteback sends a reconstructed destination line to memory so that
 // future reads are serviced normally — unless the destination controller's
-// WPQ is too full (the paper's 75% rule, §III-B2).
+// WPQ is too full (the paper's 75% rule, §III-B2). With WritebackRetries
+// set, a rejected writeback retries with bounded exponential backoff
+// instead of being dropped outright.
 func (e *Engine) maybeWriteback(a memdata.Addr, gen uint64, tx txtrace.Tx, data []byte) {
 	if !e.p.WritebackOnBounce {
 		return
 	}
+	e.tryWriteback(a, gen, tx, data, 0)
+}
+
+func (e *Engine) tryWriteback(a memdata.Addr, gen uint64, tx txtrace.Tx, data []byte, attempt int) {
 	mc := e.mcs[e.route(a)]
-	if mc.WPQOccupancy() >= e.p.WPQRejectFrac {
+	rejected := mc.WPQOccupancy() >= e.p.WPQRejectFrac
+	if !rejected && e.flt.Fire(faultinject.KindWPQReject, uint64(a), uint64(e.eng.Now())) {
+		rejected = true
+	}
+	if rejected {
 		e.Stats.WritebackRejects++
 		e.tr.Anomaly(txtrace.AnomalyWPQReject, e.route(a), uint64(a), uint64(e.eng.Now()))
+		if attempt < e.p.WritebackRetries {
+			e.Stats.WritebackRetries++
+			e.eng.After(e.p.WritebackBackoff<<attempt, func() {
+				if e.destGen[a] != gen {
+					e.Stats.DroppedInternal++ // a CPU write superseded the value
+					return
+				}
+				e.tryWriteback(a, gen, tx, data, attempt+1)
+			})
+			return
+		}
+		if e.p.WritebackRetries > 0 {
+			e.Stats.WritebackRetryGiveups++
+		}
 		if tx != 0 {
 			now := uint64(e.eng.Now())
 			e.tr.Complete(tx, txtrace.StageBounceWriteback, uint64(a), now, now, txtrace.FlagRejected)
 		}
 		return
+	}
+	if attempt > 0 {
+		e.Stats.WritebackRetrySuccesses++
 	}
 	e.Stats.BounceWritebacks++
 	// The write goes through the full hooked path: it trims the CTT entry
@@ -345,6 +419,7 @@ func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, tx txtrace.Tx,
 			e.tr.Complete(tx, txtrace.StageBPQMerge, uint64(a), now, now+uint64(e.p.CTTLatency), txtrace.FlagWrite)
 		}
 		copy(hw.data, data)
+		e.inv.ObserveWrite(a, hw.data) // merged value is forwardable immediately
 		e.eng.After(e.p.CTTLatency, release)
 		return true
 	}
@@ -380,6 +455,14 @@ func (e *Engine) hookedWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release
 	}
 	mc := e.route(a)
 	if !e.ctt.HasSrcOverlap(lineRange(a)) {
+		// Between untracking the line and the WPQ accepting the write, the
+		// line's visible value is ambiguous (a read now would fetch stale
+		// memory). Mark the window so the shadow oracle skips it.
+		if e.inv.ShadowOn() {
+			e.inv.BeginInternalWrite(a)
+			inner := release
+			release = func() { e.inv.EndInternalWrite(a); inner() }
+		}
 		e.ctt.RemoveDestRange(lineRange(a))
 		e.wakePending()
 		e.mcs[mc].RawWriteLineOwnedTx(a, data, tx, release)
@@ -401,6 +484,7 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, tx txtrace
 	hsp := e.tr.Begin(tx, txtrace.StageBPQHold, uint64(a), uint64(e.eng.Now()))
 	hw := &heldWrite{data: append([]byte(nil), data...)}
 	e.held[a] = hw
+	e.inv.ObserveWrite(a, hw.data) // held value is forwardable immediately
 	// The BPQ is a posted buffer: the writer proceeds once the write is
 	// held (reads forward from the BPQ); the memory write lands after the
 	// dependent lazy copies complete.
@@ -446,7 +530,14 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, tx txtrace
 		e.ctt.RemoveDestRange(lr)
 		delete(e.held, a)
 		e.tr.EndFlags(hsp, uint64(e.eng.Now()), txtrace.FlagWrite)
-		e.mcs[mc].RawWriteLineOwnedTx(a, hw.data, hsp, func() {})
+		// Unheld but not yet WPQ-accepted: reads in this window fetch stale
+		// memory, so mark it for the shadow oracle.
+		wdone := func() {}
+		if e.inv.ShadowOn() {
+			e.inv.BeginInternalWrite(a)
+			wdone = func() { e.inv.EndInternalWrite(a) }
+		}
+		e.mcs[mc].RawWriteLineOwnedTx(a, hw.data, hsp, wdone)
 		if slotHeld {
 			e.releaseBPQ(mc)
 		}
@@ -488,9 +579,22 @@ func (e *Engine) runHeldWaiters() {
 }
 
 func (e *Engine) acquireBPQ(mc int, a memdata.Addr, fn func()) {
+	// Injected BPQ stall: the acquisition freezes for the schedule's window
+	// before contending for a slot.
+	if w := e.flt.FireWindow(faultinject.KindBPQStall, uint64(a), uint64(e.eng.Now())); w != 0 {
+		e.eng.After(sim.Cycle(w), func() { e.acquireBPQSlot(mc, a, fn) })
+		return
+	}
+	e.acquireBPQSlot(mc, a, fn)
+}
+
+func (e *Engine) acquireBPQSlot(mc int, a memdata.Addr, fn func()) {
 	q := &e.bpqs[mc]
 	if q.used < e.p.BPQCapacity {
 		q.used++
+		if e.inv.QueuesOn() {
+			e.inv.CheckQueue(e.bpqNames[mc], q.used, e.p.BPQCapacity)
+		}
 		fn()
 		return
 	}
@@ -506,6 +610,9 @@ func (e *Engine) releaseBPQ(mc int) {
 		return
 	}
 	q.used--
+	if e.inv.QueuesOn() {
+		e.inv.CheckQueue(e.bpqNames[mc], q.used, e.p.BPQCapacity)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +624,11 @@ func (e *Engine) releaseBPQ(mc int) {
 // CTT is full or while BPQ-held lines overlap either buffer (Fig 9:
 // "prospective copies involving S1 or S2 are stalled").
 func (e *Engine) MCLazy(dst memdata.Range, src memdata.Addr, tx txtrace.Tx, done func()) {
+	if o := e.inv; o.WatchdogOn() {
+		id := o.TxBegin(uint64(dst.Start))
+		inner := done
+		done = func() { o.TxEnd(id); inner() }
+	}
 	sp := e.tr.Begin(tx, txtrace.StageCTTInsert, uint64(dst.Start), uint64(e.eng.Now()))
 	pl := &pendingLazy{dst: dst, src: src, done: done, since: e.eng.Now(), sp: sp}
 	e.tryLazy(pl)
@@ -558,7 +670,28 @@ func (e *Engine) tryLazy(pl *pendingLazy) {
 	}
 	e.Stats.LazyOps++
 	e.Stats.LazyBytes += pl.dst.Size
+	// Shadow oracle: replay the accepted copy eagerly — from this cycle on,
+	// reads of dst must return the copied bytes.
+	e.inv.ObserveCopy(pl.dst, pl.src)
 	e.tr.End(pl.sp, uint64(e.eng.Now()+e.p.CTTLatency))
+	// Injected CTT eviction storm: force the smallest entry out of the
+	// table through the regular materialization path.
+	if e.flt.Fire(faultinject.KindCTTEvict, uint64(pl.dst.Start), uint64(e.eng.Now())) {
+		if ent := e.pickFreeEntry(); ent != nil {
+			e.Stats.ForcedEvictions++
+			e.materializeEntry(ent)
+		}
+	}
+	// Graceful degradation: past the high-water mark the accepted copy is
+	// materialized immediately, so sustained pressure degrades to eager
+	// copying instead of wedging the table.
+	if e.p.EagerCopyFrac > 0 && float64(e.ctt.Len()) >= e.p.EagerCopyFrac*float64(e.p.CTTCapacity) {
+		e.Stats.EagerFallbacks++
+		e.Stats.EagerFallbackBytes += pl.dst.Size
+		for _, ent := range e.ctt.DestCover(pl.dst) {
+			e.materializeEntry(ent)
+		}
+	}
 	e.maybeStartFree(false)
 	e.eng.After(e.p.CTTLatency, pl.done)
 }
@@ -604,6 +737,11 @@ func (e *Engine) wakePending() {
 // MCFree hints that the buffer r is dead: tracking for every fully
 // contained destination line is dropped without copying (§III-C).
 func (e *Engine) MCFree(r memdata.Range, tx txtrace.Tx, done func()) {
+	if o := e.inv; o.WatchdogOn() {
+		id := o.TxBegin(uint64(r.Start))
+		inner := done
+		done = func() { o.TxEnd(id); inner() }
+	}
 	if tx != 0 {
 		now := uint64(e.eng.Now())
 		e.tr.Complete(tx, txtrace.StageCTTInsert, uint64(r.Start), now, now+uint64(e.p.CTTLatency), 0)
@@ -612,16 +750,60 @@ func (e *Engine) MCFree(r memdata.Range, tx txtrace.Tx, done func()) {
 	end := memdata.LineAlign(r.End())
 	if end > start {
 		inner := memdata.Range{Start: start, Size: uint64(end - start)}
+		// Shadow oracle: MCFREE is the last cycle the buffer's contents are
+		// defined — compare the visible value of still-tracked lines against
+		// the shadow before dropping their tracking (bounded per free).
+		if e.inv.ShadowOn() {
+			checked := 0
+			for _, l := range inner.Lines() {
+				if checked >= maxFreeChecks {
+					break
+				}
+				if len(e.ctt.DestCover(lineRange(l))) == 0 {
+					continue
+				}
+				checked++
+				e.inv.CheckFreeLine(l, e.peekVisibleLine(l))
+			}
+		}
 		e.ctt.RemoveDestRange(inner)
 		// Freed lines are undefined; stale in-flight reconstructions must
 		// not land after the free and resurrect old data as fresh writes.
 		for _, l := range inner.Lines() {
 			e.destGen[l]++
 		}
+		e.inv.ObserveFree(inner)
 	}
 	e.Stats.MCFrees++
 	e.wakePending()
 	e.eng.After(e.p.CTTLatency, done)
+}
+
+// maxFreeChecks bounds the number of still-tracked lines the shadow oracle
+// byte-compares per MCFREE (the peek composes values synchronously).
+const maxFreeChecks = 64
+
+// peekVisibleLine computes the value a read of line a issued now would
+// bind, with no timing, stats, or side effects: BPQ-held data wins, then a
+// synchronous compose over the CTT with WPQ-forward/phys source bytes —
+// the same precedence as the event-driven read path.
+func (e *Engine) peekVisibleLine(a memdata.Addr) []byte {
+	if hw, ok := e.held[a]; ok {
+		return append([]byte(nil), hw.data...)
+	}
+	lr := lineRange(a)
+	out := make([]byte, memdata.LineSize)
+	copy(out, e.mcs[e.route(a)].PeekLine(a))
+	for _, ent := range e.ctt.DestCover(lr) {
+		part := ent.Dst.Intersect(lr)
+		src := ent.SrcFor(part.Start)
+		for i := uint64(0); i < part.Size; i++ {
+			sa := src + memdata.Addr(i)
+			sl := e.mcs[e.route(sa)].PeekLine(memdata.LineAlign(sa))
+			out[part.Start-a+memdata.Addr(i)] = sl[memdata.LineOffset(sa)]
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -676,11 +858,13 @@ func (e *Engine) pickFreeEntry() *Entry {
 func (e *Engine) freeWorker() {
 	if e.ctt.Len() < e.freeTarget() && !e.hasFullStall() {
 		e.freeWorkers--
+		e.inv.CheckRefcount("core.free_workers", e.freeWorkers)
 		return
 	}
 	ent := e.pickFreeEntry()
 	if ent == nil {
 		e.freeWorkers--
+		e.inv.CheckRefcount("core.free_workers", e.freeWorkers)
 		return
 	}
 	e.freeing[ent.ID] = true
@@ -712,6 +896,44 @@ func (e *Engine) freeWorker() {
 			e.writeReconstructed(dl, gen, fsp, data, func() {
 				e.eng.After(e.p.FreePacing, func() { step(i + 1) })
 			})
+		})
+	}
+	step(0)
+}
+
+// materializeEntry eagerly performs one CTT entry's copy and thereby
+// evicts it, using the same compose/write/trim machinery as the async free
+// workers but pinned to this entry and without pacing — forced evictions
+// (injected faults) and the eager-copy fallback are urgent, not
+// background, work. Claimed entries are skipped (a worker already owns
+// them).
+func (e *Engine) materializeEntry(ent *Entry) {
+	if ent == nil || e.freeing[ent.ID] {
+		return
+	}
+	e.freeing[ent.ID] = true
+	e.freeWorkers++
+	e.Stats.Frees++
+	e.Stats.FreedBytes += ent.Dst.Size
+	fsp := e.tr.BeginRoot(txtrace.StageFree, txtrace.TrackEngine, uint64(ent.Dst.Start), uint64(e.eng.Now()))
+	lines := ent.Dst.Lines()
+	var step func(i int)
+	step = func(i int) {
+		for i < len(lines) && e.ctt.LookupDest(lines[i]) == nil {
+			i++
+		}
+		if i >= len(lines) {
+			delete(e.freeing, ent.ID)
+			e.tr.End(fsp, uint64(e.eng.Now()))
+			e.freeWorkers--
+			e.inv.CheckRefcount("core.free_workers", e.freeWorkers)
+			e.wakePending()
+			return
+		}
+		dl := lines[i]
+		gen := e.destGen[dl]
+		e.composeDestLine(dl, fsp, func(data []byte) {
+			e.writeReconstructed(dl, gen, fsp, data, func() { step(i + 1) })
 		})
 	}
 	step(0)

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"mcsquare/internal/dram"
+	"mcsquare/internal/faultinject"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
@@ -23,7 +25,9 @@ type rig struct {
 	shadow *memdata.Physical
 	mcs    []*memctrl.Controller
 	lazy   *Engine
-	tr     *txtrace.Tracer // nil unless a collector was bound at newRig
+	tr     *txtrace.Tracer    // nil unless a collector was bound at newRig
+	flt    *faultinject.Plane // nil unless a fault collector was bound
+	inv    *invariant.Oracles // nil unless an invariant collector was bound
 	proc   *sim.Proc
 	failed string // first failure; reported after the engine drains
 }
@@ -42,14 +46,31 @@ func newRig(t *testing.T, p Params) *rig {
 		memctrl.New(1, eng, memctrl.DefaultConfig(), dram.NewChannel(dram.DDR4Config()), phys),
 	}
 	lazy := NewEngine(eng, p, mcs, routeLine)
-	// Same wiring as machine.New: a collector bound to the constructing
-	// goroutine hands the rig a tracer; with none bound this is all nil.
+	// Same wiring as machine.New: collectors bound to the constructing
+	// goroutine hand the rig its tracer, fault plane, and invariant oracles;
+	// with none bound these are all nil.
 	tr := txtrace.AmbientCollector().NewTracer()
 	for _, mc := range mcs {
 		mc.SetTracer(tr)
 	}
 	lazy.SetTracer(tr)
-	return &rig{t: t, eng: eng, phys: phys, shadow: shadow, mcs: mcs, lazy: lazy, tr: tr}
+	r := &rig{t: t, eng: eng, phys: phys, shadow: shadow, mcs: mcs, lazy: lazy, tr: tr}
+	if fc := faultinject.AmbientCollector(); fc != nil {
+		r.flt = fc.NewPlane()
+		r.flt.SetTracer(tr)
+		for _, mc := range mcs {
+			mc.SetFaults(r.flt)
+		}
+		lazy.SetFaults(r.flt)
+	}
+	if ic := invariant.AmbientCollector(); ic != nil {
+		r.inv = ic.NewOracles(eng, tr)
+		for _, mc := range mcs {
+			mc.SetInvariants(r.inv)
+		}
+		lazy.SetInvariants(r.inv)
+	}
+	return r
 }
 
 // fill seeds both memories with identical pseudorandom content.
@@ -59,6 +80,7 @@ func (r *rig) fill(seed int64) {
 	rnd.Read(buf)
 	r.phys.Write(0, buf)
 	r.shadow.Write(0, buf)
+	r.inv.ObserveInit(0, buf) // mirror backdoor seeding into the oracle shadow
 }
 
 // run executes fn as a simulated process and drains the engine. Failures

@@ -26,6 +26,12 @@ func (e *Engine) PublishMetrics(s metrics.Scope) {
 	en.Counter("frees", &e.Stats.Frees)
 	en.Counter("freed_bytes", &e.Stats.FreedBytes)
 	en.Counter("mcfrees", &e.Stats.MCFrees)
+	en.Counter("eager_fallbacks", &e.Stats.EagerFallbacks)
+	en.Counter("eager_fallback_bytes", &e.Stats.EagerFallbackBytes)
+	en.Counter("forced_evictions", &e.Stats.ForcedEvictions)
+	en.Counter("writeback_retries", &e.Stats.WritebackRetries)
+	en.Counter("writeback_retry_successes", &e.Stats.WritebackRetrySuccesses)
+	en.Counter("writeback_retry_giveups", &e.Stats.WritebackRetryGiveups)
 
 	ct := s.Scope("ctt")
 	ct.Counter("inserts", &e.ctt.Stats.Inserts)

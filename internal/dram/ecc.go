@@ -1,0 +1,27 @@
+package dram
+
+// Per-line checksum ECC model. Real DDR4 ECC is a (72,64) Hamming SECDED
+// code per 8-byte beat; for fault-injection purposes all we need is a
+// cheap detector that is guaranteed to catch any single-bit upset in a
+// 64-byte line, so the memory controller can model the detect → re-read
+// retry path. A position-weighted sum does that: flipping bit b of byte i
+// changes the checksum by ±(i+1)·2^b mod 2^64, which is never zero for a
+// single flip (i+1 ≤ 64, so the term fits in 70 bits and its low 64 bits
+// cannot all cancel for one term).
+
+// LineChecksum returns the detector checksum of a memory line.
+func LineChecksum(line []byte) uint64 {
+	var sum uint64
+	for i, b := range line {
+		sum += uint64(i+1) * uint64(b)
+	}
+	return sum
+}
+
+// CorruptBit flips one bit (0 ≤ bit < 8·len(line)) in a copy of line,
+// modeling a transient single-bit read upset. The input is not modified.
+func CorruptBit(line []byte, bit uint64) []byte {
+	out := append([]byte(nil), line...)
+	out[bit>>3] ^= 1 << (bit & 7)
+	return out
+}

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Collector hands one Plane to every machine built while it is bound to a
+// goroutine, mirroring txtrace.Collector: the runner (or a cmd binary)
+// binds one around a run, machine.New asks AmbientCollector() for a plane,
+// and the caller reads fault counts afterwards. A nil Collector (no
+// schedule) hands out nil planes.
+type Collector struct {
+	sched Schedule
+	mu    sync.Mutex
+	pls   []*Plane
+}
+
+// NewCollector builds a collector for sched. Returns nil when sched is nil
+// or fires nothing, so callers can bind unconditionally and pay nothing
+// when fault injection is off.
+func NewCollector(sched *Schedule) *Collector {
+	if sched == nil || !sched.Active() {
+		return nil
+	}
+	return &Collector{sched: *sched}
+}
+
+// Schedule returns the collector's schedule (zero value from nil).
+func (c *Collector) Schedule() Schedule {
+	if c == nil {
+		return Schedule{}
+	}
+	return c.sched
+}
+
+// NewPlane creates, records, and returns one plane (nil from a nil
+// collector). The plane's firing phases depend on its creation index, so
+// build machines in a deterministic order.
+func (c *Collector) NewPlane() *Plane {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	p := newPlane(c.sched, len(c.pls))
+	c.pls = append(c.pls, p)
+	c.mu.Unlock()
+	return p
+}
+
+// Planes returns the collected planes in creation order.
+func (c *Collector) Planes() []*Plane {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Plane(nil), c.pls...)
+}
+
+// FiredTotal sums fired faults across every plane.
+func (c *Collector) FiredTotal() uint64 {
+	var n uint64
+	for _, p := range c.Planes() {
+		n += p.FiredTotal()
+	}
+	return n
+}
+
+// ambient maps goroutine id → bound collector (the same pattern as
+// metrics/txtrace: bind/lookup only at job boundaries and machine
+// construction, never per event).
+var (
+	ambientMu sync.Mutex
+	ambient   = map[uint64]*Collector{}
+)
+
+// Bind attaches c to the calling goroutine and returns a release func that
+// restores whatever was bound before. Binding a nil collector is a no-op
+// that still returns a valid release func.
+func (c *Collector) Bind() (release func()) {
+	if c == nil {
+		return func() {}
+	}
+	id := goid()
+	ambientMu.Lock()
+	prev, had := ambient[id]
+	ambient[id] = c
+	ambientMu.Unlock()
+	return func() {
+		ambientMu.Lock()
+		if had {
+			ambient[id] = prev
+		} else {
+			delete(ambient, id)
+		}
+		ambientMu.Unlock()
+	}
+}
+
+// AmbientCollector returns the collector bound to the calling goroutine,
+// or nil (machine.New then runs fault-free).
+func AmbientCollector() *Collector {
+	ambientMu.Lock()
+	defer ambientMu.Unlock()
+	if len(ambient) == 0 {
+		return nil // nothing bound anywhere: skip the goid parse
+	}
+	return ambient[goid()]
+}
+
+// goid parses the calling goroutine's id from its stack header (same
+// helper as metrics/txtrace keep privately).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic("faultinject: cannot parse goroutine id from stack header")
+	}
+	return id
+}

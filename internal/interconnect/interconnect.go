@@ -10,6 +10,7 @@
 package interconnect
 
 import (
+	"mcsquare/internal/faultinject"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/txtrace"
 )
@@ -29,7 +30,14 @@ type Stats struct {
 	Broadcasts uint64
 	// QueueCycles accumulates time messages waited for bandwidth.
 	QueueCycles uint64
+	Retries     uint64 // retransmissions after injected packet drops
+	DupPackets  uint64 // injected duplicate packets (receiver discards)
 }
+
+// maxSendRetries bounds the retransmission backoff loop; the final
+// attempt always delivers, so an injected drop burst degrades latency but
+// never loses a message.
+const maxSendRetries = 4
 
 // Bus is one shared link. All methods run in engine (event) context.
 type Bus struct {
@@ -37,6 +45,7 @@ type Bus struct {
 	cfg  Config
 	busy sim.Cycle // cycle until which the link is transmitting
 	tr   *txtrace.Tracer
+	flt  *faultinject.Plane
 
 	Stats Stats
 }
@@ -52,6 +61,9 @@ func (b *Bus) Config() Config { return b.cfg }
 // SetTracer attaches the transaction tracer (nil disables).
 func (b *Bus) SetTracer(t *txtrace.Tracer) { b.tr = t }
 
+// SetFaults attaches the machine's fault-injection plane (nil disables).
+func (b *Bus) SetFaults(p *faultinject.Plane) { b.flt = p }
+
 // Send delivers a message of the given size: fn runs after the hop latency
 // plus any bandwidth-induced queueing.
 func (b *Bus) Send(bytes uint64, fn func()) { b.SendTx(bytes, 0, fn) }
@@ -61,6 +73,20 @@ func (b *Bus) Send(bytes uint64, fn func()) { b.SendTx(bytes, 0, fn) }
 func (b *Bus) SendTx(bytes uint64, tx txtrace.Tx, fn func()) {
 	b.Stats.Messages++
 	b.Stats.Bytes += bytes
+	delay := b.transferDelay(bytes)
+	if b.flt != nil {
+		delay += b.faultDelay(bytes)
+	}
+	if tx != 0 {
+		now := b.eng.Now()
+		b.tr.Complete(tx, txtrace.StageXConHop, 0, uint64(now), uint64(now+delay), 0)
+	}
+	b.eng.After(delay, fn)
+}
+
+// transferDelay charges one transmission of the given size: hop latency
+// plus any bandwidth-induced queueing (advancing the link's busy horizon).
+func (b *Bus) transferDelay(bytes uint64) sim.Cycle {
 	delay := b.cfg.HopLatency
 	if b.cfg.BytesPerCycle > 0 {
 		now := b.eng.Now()
@@ -74,11 +100,37 @@ func (b *Bus) SendTx(bytes uint64, tx txtrace.Tx, fn func()) {
 		b.Stats.QueueCycles += uint64(start - now)
 		delay += queued
 	}
-	if tx != 0 {
-		now := b.eng.Now()
-		b.tr.Complete(tx, txtrace.StageXConHop, 0, uint64(now), uint64(now+delay), 0)
+	return delay
+}
+
+// faultDelay models injected packet loss and duplication. A duplicated
+// packet charges message count and bandwidth twice (the receiver discards
+// the copy, so delivery timing is unchanged). A dropped packet is
+// retransmitted after the schedule's timeout window with doubling backoff;
+// every retransmission occupies the link again, attempts are bounded, and
+// the final one always delivers — degraded latency, never a lost message.
+func (b *Bus) faultDelay(bytes uint64) sim.Cycle {
+	var extra sim.Cycle
+	now := uint64(b.eng.Now())
+	if b.flt.Fire(faultinject.KindXConDup, bytes, now) {
+		b.Stats.DupPackets++
+		b.Stats.Messages++
+		b.Stats.Bytes += bytes
+		b.transferDelay(bytes)
 	}
-	b.eng.After(delay, fn)
+	if w := b.flt.FireWindow(faultinject.KindXConDelay, bytes, now); w != 0 {
+		backoff := sim.Cycle(w)
+		for attempt := 1; ; attempt++ {
+			b.Stats.Retries++
+			extra += backoff + b.transferDelay(bytes)
+			if attempt >= maxSendRetries ||
+				b.flt.FireWindow(faultinject.KindXConDelay, bytes, now) == 0 {
+				break
+			}
+			backoff *= 2
+		}
+	}
+	return extra
 }
 
 // Broadcast delivers a control message to every endpoint (the CTT update

@@ -9,4 +9,6 @@ func (b *Bus) PublishMetrics(s metrics.Scope) {
 	s.Counter("bytes", &b.Stats.Bytes)
 	s.Counter("broadcasts", &b.Stats.Broadcasts)
 	s.Counter("queue_cycles", &b.Stats.QueueCycles)
+	s.Counter("retries", &b.Stats.Retries)
+	s.Counter("dup_packets", &b.Stats.DupPackets)
 }

@@ -1,0 +1,155 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"mcsquare/internal/sim"
+	"mcsquare/internal/txtrace"
+)
+
+// Collector hands one Oracles instance to every machine built while it is
+// bound to a goroutine, mirroring txtrace.Collector. A nil Collector
+// (oracles disabled) hands out nil oracles, which every check method
+// treats as a no-op.
+type Collector struct {
+	cfg Config
+	mu  sync.Mutex
+	os  []*Oracles
+}
+
+// NewCollector builds a collector for cfg. Returns nil when no oracle is
+// enabled, so callers can bind unconditionally and pay nothing when
+// invariants are off.
+func NewCollector(cfg Config) *Collector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Collector{cfg: cfg}
+}
+
+// Config returns the collector's configuration (zero value from nil).
+func (c *Collector) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// NewOracles creates, records, and returns one machine's oracles (nil from
+// a nil collector).
+func (c *Collector) NewOracles(eng *sim.Engine, tr *txtrace.Tracer) *Oracles {
+	if c == nil {
+		return nil
+	}
+	o := newOracles(c.cfg, eng, tr)
+	c.mu.Lock()
+	c.os = append(c.os, o)
+	c.mu.Unlock()
+	return o
+}
+
+// Oracles returns the collected oracles in creation order.
+func (c *Collector) Oracles() []*Oracles {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Oracles(nil), c.os...)
+}
+
+// TotalViolations sums recorded violations across every machine.
+func (c *Collector) TotalViolations() uint64 {
+	var n uint64
+	for _, o := range c.Oracles() {
+		n += o.TotalViolations()
+	}
+	return n
+}
+
+// Violations returns every recorded violation across machines, in
+// deterministic (cycle, addr, message) order.
+func (c *Collector) Violations() []Violation {
+	var all []Violation
+	for _, o := range c.Oracles() {
+		all = append(all, o.Violations()...)
+	}
+	sortViolations(all)
+	return all
+}
+
+// Report writes a human-readable violation summary.
+func (c *Collector) Report(w io.Writer) {
+	vs := c.Violations()
+	total := c.TotalViolations()
+	fmt.Fprintf(w, "invariant: %d violation(s)\n", total)
+	for _, v := range vs {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	if n := uint64(len(vs)); total > n {
+		fmt.Fprintf(w, "  … and %d more (per-machine lists are bounded)\n", total-n)
+	}
+}
+
+// ambient maps goroutine id → bound collector (the metrics/txtrace
+// pattern: bind/lookup only at job boundaries and machine construction).
+var (
+	ambientMu sync.Mutex
+	ambient   = map[uint64]*Collector{}
+)
+
+// Bind attaches c to the calling goroutine and returns a release func that
+// restores whatever was bound before. Binding a nil collector is a no-op
+// that still returns a valid release func.
+func (c *Collector) Bind() (release func()) {
+	if c == nil {
+		return func() {}
+	}
+	id := goid()
+	ambientMu.Lock()
+	prev, had := ambient[id]
+	ambient[id] = c
+	ambientMu.Unlock()
+	return func() {
+		ambientMu.Lock()
+		if had {
+			ambient[id] = prev
+		} else {
+			delete(ambient, id)
+		}
+		ambientMu.Unlock()
+	}
+}
+
+// AmbientCollector returns the collector bound to the calling goroutine,
+// or nil (machine.New then runs without oracles).
+func AmbientCollector() *Collector {
+	ambientMu.Lock()
+	defer ambientMu.Unlock()
+	if len(ambient) == 0 {
+		return nil // nothing bound anywhere: skip the goid parse
+	}
+	return ambient[goid()]
+}
+
+// goid parses the calling goroutine's id from its stack header (same
+// helper as metrics/txtrace keep privately).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic("invariant: cannot parse goroutine id from stack header")
+	}
+	return id
+}

@@ -12,7 +12,9 @@ import (
 	"mcsquare/internal/core"
 	"mcsquare/internal/cpu"
 	"mcsquare/internal/dram"
+	"mcsquare/internal/faultinject"
 	"mcsquare/internal/interconnect"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/isa"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
@@ -85,6 +87,14 @@ type Machine struct {
 	// disabled) otherwise. Every component holds the same tracer.
 	Trace *txtrace.Tracer
 
+	// Faults is the machine's fault-injection plane, handed out by the
+	// ambient faultinject.Collector; nil (no faults) otherwise.
+	Faults *faultinject.Plane
+
+	// Inv is the machine's invariant-oracle state, handed out by the
+	// ambient invariant.Collector; nil (oracles off) otherwise.
+	Inv *invariant.Oracles
+
 	brk memdata.Addr // bump allocator watermark
 }
 
@@ -147,6 +157,31 @@ func New(p Params) *Machine {
 		c.SetTracer(m.Trace)
 	}
 
+	// Fault injection and invariant oracles follow the same ambient
+	// pattern: nothing bound → nil plane/oracles → every consultation below
+	// is a nil check and the metric name set is unchanged.
+	if fc := faultinject.AmbientCollector(); fc != nil {
+		m.Faults = fc.NewPlane()
+		m.Faults.SetTracer(m.Trace)
+		for _, mc := range m.MCs {
+			mc.SetFaults(m.Faults)
+		}
+		bus.SetFaults(m.Faults)
+		if p.LazyEnabled {
+			m.Lazy.SetFaults(m.Faults)
+		}
+	}
+	if ic := invariant.AmbientCollector(); ic != nil {
+		m.Inv = ic.NewOracles(m.Eng, m.Trace)
+		for _, mc := range m.MCs {
+			mc.SetInvariants(m.Inv)
+		}
+		m.Hier.SetInvariants(m.Inv)
+		if p.LazyEnabled {
+			m.Lazy.SetInvariants(m.Inv)
+		}
+	}
+
 	m.Metrics = metrics.NewRegistry()
 	root := m.Metrics.Scope("")
 	for i, ch := range m.Chans {
@@ -172,6 +207,8 @@ func New(p Params) *Machine {
 	if m.Trace != nil {
 		m.Trace.PublishMetrics(root.Scope("txtrace"))
 	}
+	m.Faults.PublishMetrics(root.Scope("faultinject"))
+	m.Inv.PublishMetrics(root.Scope("invariant"))
 
 	// A runner job (or mcsim -stats) binds a metrics.Collector to its
 	// goroutine; every machine built inside hands over its registry so the
@@ -210,6 +247,7 @@ func (m *Machine) FillRandom(a memdata.Addr, n uint64, seed int64) {
 	buf := make([]byte, n)
 	rnd.Read(buf)
 	m.Phys.Write(a, buf)
+	m.Inv.ObserveInit(a, buf) // mirror backdoor seeding into the shadow
 }
 
 // Run executes one workload function per core (fn i on core i) as

@@ -10,7 +10,11 @@
 package memctrl
 
 import (
+	"fmt"
+
 	"mcsquare/internal/dram"
+	"mcsquare/internal/faultinject"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/txtrace"
@@ -70,6 +74,7 @@ type Stats struct {
 	WriteStalls    uint64 // writes that waited for a WPQ slot
 	Forwards       uint64 // reads serviced from the WPQ
 	RejectedWrites uint64 // hook-side writebacks refused (WPQ pressure)
+	ECCRetries     uint64 // DRAM reads re-issued after a detected bit upset
 }
 
 // Controller owns one DRAM channel. All methods must be called in engine
@@ -82,6 +87,12 @@ type Controller struct {
 	phys *memdata.Physical
 	hook Hook
 	tr   *txtrace.Tracer
+
+	flt *faultinject.Plane // nil when no fault schedule is active
+	inv *invariant.Oracles // nil when invariant oracles are off
+	// Queue names for occupancy violations, precomputed so the checks
+	// allocate nothing on the hot path.
+	rpqName, wpqName string
 
 	rpqUsed     int
 	rpqWaiters  sim.FnQueue
@@ -113,6 +124,18 @@ func (c *Controller) SetHook(h Hook) { c.hook = h }
 // SetTracer attaches the transaction tracer (nil disables).
 func (c *Controller) SetTracer(t *txtrace.Tracer) { c.tr = t }
 
+// SetFaults attaches the machine's fault-injection plane (nil disables).
+func (c *Controller) SetFaults(p *faultinject.Plane) { c.flt = p }
+
+// SetInvariants attaches the machine's invariant oracles (nil disables).
+func (c *Controller) SetInvariants(o *invariant.Oracles) {
+	c.inv = o
+	if o.QueuesOn() {
+		c.rpqName = fmt.Sprintf("mc%d.rpq", c.ID)
+		c.wpqName = fmt.Sprintf("mc%d.wpq", c.ID)
+	}
+}
+
 // Channel returns the controller's DRAM channel (for stats).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
@@ -137,10 +160,16 @@ func (c *Controller) ReadLine(a memdata.Addr, done func(data []byte)) {
 
 // ReadLineTx is ReadLine carrying a transaction-trace id.
 func (c *Controller) ReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
+	if o := c.inv; o.WatchdogOn() {
+		id := o.TxBegin(uint64(a))
+		inner := done
+		done = func(d []byte) { o.TxEnd(id); inner(d) }
+	}
 	if c.hook != nil && c.hook.FilterRead(a, tx, done) {
 		return
 	}
-	c.RawReadLineTx(a, tx, done)
+	// CPU-visible read the hook did not claim: check it against the shadow.
+	c.rawReadLine(a, tx, done, c.inv.ShadowOn())
 }
 
 // RawReadLine is ReadLine without hook interception.
@@ -153,10 +182,21 @@ func (c *Controller) RawReadLine(a memdata.Addr, done func(data []byte)) {
 // dram.read span with the row hit/miss outcome, or an mc.wpq_forward span
 // when serviced from the write queue.
 func (c *Controller) RawReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data []byte)) {
+	c.rawReadLine(a, tx, done, false)
+}
+
+// rawReadLine is the shared read path. check enables the shadow-memory
+// comparison: the returned value is bound at the forwarding check (forward
+// hits) or at DRAM issue (array reads), and the oracle is consulted with
+// that cycle so later legitimate writes don't count as mismatches.
+func (c *Controller) rawReadLine(a memdata.Addr, tx txtrace.Tx, done func(data []byte), check bool) {
 	c.Stats.Reads++
 	// Forward from pending writes: the freshest value may still be queued.
 	if d := c.forward(a); d != nil {
 		c.Stats.Forwards++
+		if check {
+			c.inv.CheckRead(a, d, c.eng.Now())
+		}
 		if tx != 0 {
 			now := uint64(c.eng.Now())
 			c.tr.Complete(tx, txtrace.StageWPQForward, uint64(a), now, now+uint64(c.cfg.AcceptLatency), 0)
@@ -171,6 +211,9 @@ func (c *Controller) RawReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data
 		if d := c.forward(a); d != nil {
 			c.Stats.Forwards++
 			c.releaseRPQ()
+			if check {
+				c.inv.CheckRead(a, d, c.eng.Now())
+			}
 			if tx != 0 {
 				now := uint64(c.eng.Now())
 				c.tr.Complete(tx, txtrace.StageWPQForward, uint64(a), now, now, 0)
@@ -178,6 +221,7 @@ func (c *Controller) RawReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data
 			done(d)
 			return
 		}
+		bound := c.eng.Now()
 		c.pendingRead++
 		rowHits := c.ch.RowHits
 		finish := c.ch.Access(c.eng.Now(), a, false)
@@ -190,12 +234,38 @@ func (c *Controller) RawReadLineTx(a memdata.Addr, tx txtrace.Tx, done func(data
 		}
 		c.eng.At(finish, func() {
 			data := c.phys.ReadLine(a)
-			c.pendingRead--
-			c.releaseRPQ()
-			done(data)
-			c.maybeDrain()
+			c.finishRead(a, tx, data, func(d []byte) {
+				c.pendingRead--
+				c.releaseRPQ()
+				if check {
+					c.inv.CheckRead(a, d, bound)
+				}
+				done(d)
+				c.maybeDrain()
+			})
 		})
 	})
+}
+
+// finishRead completes a DRAM read burst. When the fault plane schedules a
+// transient single-bit upset here, the per-line checksum ECC model detects
+// the corruption, charges one full re-read of the line (the RPQ slot stays
+// held), and delivers the intact data at the retry's finish time.
+func (c *Controller) finishRead(a memdata.Addr, tx txtrace.Tx, data []byte, deliver func(data []byte)) {
+	if c.flt.Fire(faultinject.KindDRAMCorrupt, uint64(a), uint64(c.eng.Now())) {
+		want := dram.LineChecksum(data)
+		bad := dram.CorruptBit(data, c.flt.Rand(uint64(len(data))*8))
+		if dram.LineChecksum(bad) != want {
+			c.Stats.ECCRetries++
+			finish := c.ch.Access(c.eng.Now(), a, false)
+			if tx != 0 {
+				c.tr.Complete(tx, txtrace.StageDRAMRead, uint64(a), uint64(c.eng.Now()), uint64(finish), txtrace.FlagRowHit)
+			}
+			c.eng.At(finish, func() { deliver(data) })
+			return
+		}
+	}
+	deliver(data)
 }
 
 // RawReadLineSnapshot is RawReadLine except that the data is captured at
@@ -239,10 +309,12 @@ func (c *Controller) RawReadLineSnapshotTx(a memdata.Addr, tx txtrace.Tx, done f
 			c.tr.Complete(tx, txtrace.StageDRAMRead, uint64(a), uint64(c.eng.Now()), uint64(finish), fl)
 		}
 		c.eng.At(finish, func() {
-			c.pendingRead--
-			c.releaseRPQ()
-			done(data)
-			c.maybeDrain()
+			c.finishRead(a, tx, data, func(d []byte) {
+				c.pendingRead--
+				c.releaseRPQ()
+				done(d)
+				c.maybeDrain()
+			})
 		})
 	})
 }
@@ -256,10 +328,20 @@ func (c *Controller) WriteLine(a memdata.Addr, data []byte, release func()) {
 
 // WriteLineTx is WriteLine carrying a transaction-trace id.
 func (c *Controller) WriteLineTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
+	if o := c.inv; o.WatchdogOn() {
+		id := o.TxBegin(uint64(a))
+		inner := release
+		release = func() { o.TxEnd(id); inner() }
+	}
 	if c.hook != nil && c.hook.FilterWrite(a, data, tx, release) {
 		return
 	}
-	c.RawWriteLineTx(a, data, tx, release)
+	if len(data) != memdata.LineSize {
+		panic("memctrl: WriteLine with partial line")
+	}
+	cp := make([]byte, memdata.LineSize)
+	copy(cp, data)
+	c.rawWriteLineOwned(a, cp, tx, release, c.inv.ShadowOn())
 }
 
 // WriteLineOwned is WriteLine with ownership transfer: the caller hands
@@ -275,10 +357,15 @@ func (c *Controller) WriteLineOwned(a memdata.Addr, data []byte, release func())
 
 // WriteLineOwnedTx is WriteLineOwned carrying a transaction-trace id.
 func (c *Controller) WriteLineOwnedTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
+	if o := c.inv; o.WatchdogOn() {
+		id := o.TxBegin(uint64(a))
+		inner := release
+		release = func() { o.TxEnd(id); inner() }
+	}
 	if c.hook != nil && c.hook.FilterWrite(a, data, tx, release) {
 		return
 	}
-	c.RawWriteLineOwnedTx(a, data, tx, release)
+	c.rawWriteLineOwned(a, data, tx, release, c.inv.ShadowOn())
 }
 
 // RawWriteLine is WriteLine without hook interception.
@@ -308,6 +395,13 @@ func (c *Controller) RawWriteLineOwned(a memdata.Addr, data []byte, release func
 // id: traced writes record an mc.wpq_wait span covering the slot wait plus
 // accept latency, and a dram.write span when the drain issues the line.
 func (c *Controller) RawWriteLineOwnedTx(a memdata.Addr, data []byte, tx txtrace.Tx, release func()) {
+	c.rawWriteLineOwned(a, data, tx, release, false)
+}
+
+// rawWriteLineOwned is the shared write path. observe replays CPU-visible
+// writes into the shadow at WPQ-accept time — the cycle the write becomes
+// forwardable, i.e. the first cycle a read can legally return it.
+func (c *Controller) rawWriteLineOwned(a memdata.Addr, data []byte, tx txtrace.Tx, release func(), observe bool) {
 	if len(data) != memdata.LineSize {
 		panic("memctrl: WriteLine with partial line")
 	}
@@ -315,6 +409,9 @@ func (c *Controller) RawWriteLineOwnedTx(a memdata.Addr, data []byte, tx txtrace
 	wsp := c.tr.Begin(tx, txtrace.StageWPQWait, uint64(a), uint64(c.eng.Now()))
 	c.acquireWPQ(func() {
 		c.tr.EndFlags(wsp, uint64(c.eng.Now())+uint64(c.cfg.AcceptLatency), txtrace.FlagWrite)
+		if observe {
+			c.inv.ObserveWrite(a, data)
+		}
 		c.writeBuf = append(c.writeBuf, pendingWrite{addr: a, data: data, tx: tx})
 		c.eng.After(c.cfg.AcceptLatency, release)
 		c.maybeDrain()
@@ -367,6 +464,7 @@ func (c *Controller) popWrite() pendingWrite {
 func (c *Controller) acquireRPQ(fn func()) {
 	if c.rpqUsed < c.cfg.RPQCapacity {
 		c.rpqUsed++
+		c.inv.CheckQueue(c.rpqName, c.rpqUsed, c.cfg.RPQCapacity)
 		fn()
 		return
 	}
@@ -380,11 +478,13 @@ func (c *Controller) releaseRPQ() {
 		return
 	}
 	c.rpqUsed--
+	c.inv.CheckQueue(c.rpqName, c.rpqUsed, c.cfg.RPQCapacity)
 }
 
 func (c *Controller) acquireWPQ(fn func()) {
 	if c.wpqUsed < c.cfg.WPQCapacity {
 		c.wpqUsed++
+		c.inv.CheckQueue(c.wpqName, c.wpqUsed, c.cfg.WPQCapacity)
 		fn()
 		return
 	}
@@ -398,6 +498,7 @@ func (c *Controller) releaseWPQ() {
 		return
 	}
 	c.wpqUsed--
+	c.inv.CheckQueue(c.wpqName, c.wpqUsed, c.cfg.WPQCapacity)
 }
 
 // maybeDrain issues buffered writes to DRAM according to the drain policy:
@@ -437,6 +538,17 @@ func (c *Controller) maybeDrain() {
 			c.maybeDrain()
 		})
 	}
+}
+
+// PeekLine returns the value a raw read issued now would eventually
+// deliver (WPQ forward or backing store), with no timing, stats, or side
+// effects. The invariant oracles use it to compute MCFREE-time visible
+// values synchronously. The returned slice must not be mutated.
+func (c *Controller) PeekLine(a memdata.Addr) []byte {
+	if d := c.forward(a); d != nil {
+		return d
+	}
+	return c.phys.ReadLine(a)
 }
 
 // Quiesce reports whether the controller has no queued or in-flight work.

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -9,6 +10,23 @@ import (
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
 )
+
+// waitNoLeak polls until the goroutine count returns to near its baseline.
+func waitNoLeak(t *testing.T, before, slack, jobs int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across jobs: %d before, %d after %d jobs",
+				before, runtime.NumGoroutine(), jobs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 // TestRunClosesAbandonedEngines pins the parked-goroutine fix: a job
 // that abandons an engine with suspended processes (bounded run, early
@@ -36,16 +54,128 @@ func TestRunClosesAbandonedEngines(t *testing.T) {
 			t.Fatalf("job %s: %v", r.ID, r.Err)
 		}
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before+4 {
-			return
+	waitNoLeak(t, before, 4, len(jobs))
+}
+
+// TestRunRecoversPanickingJobs: a workload that panics inside a simulated
+// process surfaces as a structured deterministic *JobError — carrying the
+// process stack, not retried — while its neighbors complete and none of
+// its goroutines outlive the job.
+func TestRunRecoversPanickingJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	jobs := []Job{
+		{ID: "ok-before", Run: func(o Options) []*stats.Table { return nil }},
+		{ID: "panics", Run: func(o Options) []*stats.Table {
+			e := sim.NewEngine()
+			e.Go("worker", func(p *sim.Proc) { p.Suspend() }) // parked across the panic
+			e.Go("exploder", func(p *sim.Proc) {
+				p.Wait(10)
+				panic(boom)
+			})
+			e.Drain()
+			return nil
+		}},
+		{ID: "ok-after", Run: func(o Options) []*stats.Table { return nil }},
+	}
+	results := Run(Config{Workers: 1}, jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy neighbors failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	r := results[1]
+	var je *JobError
+	if !errors.As(r.Err, &je) {
+		t.Fatalf("Err = %v (%T), want *JobError", r.Err, r.Err)
+	}
+	if !je.Deterministic {
+		t.Fatal("workload panic classified as infrastructure (would be retried)")
+	}
+	if r.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 (deterministic failures must not retry)", r.Attempts)
+	}
+	if len(je.Stack) == 0 {
+		t.Fatal("JobError carries no simulated-process stack")
+	}
+	if !errors.Is(r.Err, boom) {
+		t.Fatalf("panic value unreachable through the error chain: %v", r.Err)
+	}
+	if r.Tables != nil {
+		t.Fatal("failed job still returned tables")
+	}
+	waitNoLeak(t, before, 4, len(jobs))
+}
+
+// TestRunTimesOutLivelockedJobs: a livelocked workload is cut off by the
+// per-job cycle budget as a deterministic *JobError wrapping
+// *sim.CycleLimitError, with no goroutines left behind.
+func TestRunTimesOutLivelockedJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	jobs := []Job{
+		{ID: "livelock", Run: func(o Options) []*stats.Table {
+			e := sim.NewEngine() // picks up the runner's tracker budget
+			e.Go("spinner", func(p *sim.Proc) {
+				for {
+					p.Wait(100)
+				}
+			})
+			e.Drain()
+			return nil
+		}},
+		{ID: "bounded", Run: func(o Options) []*stats.Table {
+			e := sim.NewEngine()
+			e.Go("finite", func(p *sim.Proc) { p.Wait(500) })
+			e.Drain()
+			return nil
+		}},
+	}
+	results := Run(Config{Workers: 2, CycleBudget: 10_000}, jobs)
+	var je *JobError
+	if !errors.As(results[0].Err, &je) {
+		t.Fatalf("Err = %v (%T), want *JobError", results[0].Err, results[0].Err)
+	}
+	if !je.Deterministic {
+		t.Fatal("cycle-budget trip classified as infrastructure")
+	}
+	var cle *sim.CycleLimitError
+	if !errors.As(results[0].Err, &cle) || cle.Limit != 10_000 {
+		t.Fatalf("budget trip not surfaced as CycleLimitError: %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("job under budget failed: %v", results[1].Err)
+	}
+	waitNoLeak(t, before, 4, len(jobs))
+}
+
+// TestRunRetriesInfrastructureFailures: a panic outside any simulated
+// process is presumed infrastructural and earns exactly one same-seed
+// retry; success on the second attempt reports Attempts=2 and no error.
+func TestRunRetriesInfrastructureFailures(t *testing.T) {
+	calls := 0
+	jobs := []Job{{ID: "flaky", Run: func(o Options) []*stats.Table {
+		calls++
+		if calls == 1 {
+			panic("spurious host-side failure")
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked across jobs: %d before, %d after %d jobs",
-				before, runtime.NumGoroutine(), len(jobs))
-		}
-		time.Sleep(10 * time.Millisecond)
+		return nil
+	}}}
+	results := Run(Config{Workers: 1}, jobs)
+	if results[0].Err != nil {
+		t.Fatalf("retried job still failed: %v", results[0].Err)
+	}
+	if results[0].Attempts != 2 || calls != 2 {
+		t.Fatalf("Attempts = %d, calls = %d, want 2/2", results[0].Attempts, calls)
+	}
+
+	// A job that fails both attempts reports the second attempt's error.
+	always := []Job{{ID: "dead", Run: func(o Options) []*stats.Table {
+		panic("always down")
+	}}}
+	results = Run(Config{Workers: 1}, always)
+	var je *JobError
+	if !errors.As(results[0].Err, &je) || je.Attempt != 2 {
+		t.Fatalf("Err = %v, want *JobError from attempt 2", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", results[0].Attempts)
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcsquare/internal/faultinject"
+	"mcsquare/internal/invariant"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
@@ -53,17 +55,75 @@ type Metrics struct {
 }
 
 // Result pairs a job with its output. Results are returned in submission
-// order. A panicking job is recovered into Err so the remaining jobs still
-// run; its Tables are nil.
+// order. A panicking job is recovered into a *JobError in Err so the
+// remaining jobs still run; its Tables are nil.
 type Result struct {
 	ID      string
 	Index   int
 	Tables  []*stats.Table
 	Err     error
 	Metrics Metrics
+	// Attempts counts executions of this job: 1 normally, 2 when the first
+	// attempt hit a non-deterministic (infrastructure) failure and the job
+	// was retried once with the same seed.
+	Attempts int
+	// Violations holds the invariant-oracle failures recorded by this
+	// job's machines (deterministically ordered). Non-empty only when
+	// Config.Invariants enables oracles and a check failed — which also
+	// sets Err.
+	Violations []invariant.Violation
 	// Trace holds one tracer per machine the job built, in construction
 	// order. Empty unless Config.Trace enabled tracing.
 	Trace []*txtrace.Tracer
+}
+
+// JobError is the structured error a failed job carries: the recovered
+// panic value, the failing simulated process's stack when the panic came
+// out of one (via sim.ProcPanic), and whether the failure is deterministic.
+// Deterministic failures — a workload panic inside the seeded simulation,
+// a cycle-budget trip, a liveness-watchdog trip — recur on any same-seed
+// retry and are reported immediately; anything else is presumed
+// infrastructural and earns one same-seed retry.
+type JobError struct {
+	ID            string
+	Value         any    // the recovered panic value
+	Stack         []byte // simulated-process stack (nil for engine-side panics)
+	Deterministic bool
+	Attempt       int // which attempt failed (1-based)
+}
+
+func (e *JobError) Error() string {
+	kind := "infrastructure"
+	if e.Deterministic {
+		kind = "deterministic"
+	}
+	return fmt.Sprintf("job %s failed (%s, attempt %d): %v", e.ID, kind, e.Attempt, e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As.
+func (e *JobError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newJobError classifies a recovered panic. A sim.ProcPanic is unwrapped
+// for its stack and inner value; everything the simulator itself raises is
+// deterministic by construction (seeded, single-threaded event loop).
+func newJobError(id string, p any, attempt int) *JobError {
+	je := &JobError{ID: id, Value: p, Attempt: attempt}
+	v := p
+	if pp, ok := v.(*sim.ProcPanic); ok {
+		je.Stack = pp.Stack
+		je.Deterministic = true // workload code replays identically per seed
+		v = pp.Value
+	}
+	switch v.(type) {
+	case *sim.CycleLimitError, *invariant.WatchdogTrip:
+		je.Deterministic = true
+	}
+	return je
 }
 
 // Config shapes one Run call.
@@ -81,6 +141,17 @@ type Config struct {
 	// build. With Enabled false (the default) nothing is recorded and the
 	// simulation runs the zero-cost disabled path.
 	Trace txtrace.Config
+	// Faults, when non-nil and active, injects the deterministic fault
+	// schedule into every machine the jobs build.
+	Faults *faultinject.Schedule
+	// Invariants selects runtime correctness oracles for every machine the
+	// jobs build; a job whose oracles record violations fails with an error
+	// carrying them.
+	Invariants invariant.Config
+	// CycleBudget bounds the simulated cycles of every engine a job
+	// builds; exceeding it panics with sim.CycleLimitError, which surfaces
+	// as a deterministic *JobError. 0 means unbounded.
+	CycleBudget uint64
 }
 
 // Run executes the jobs on the pool and returns one Result per job, in
@@ -138,31 +209,63 @@ func Run(cfg Config, jobs []Job) []Result {
 	return results
 }
 
-// runOne executes a single job, capturing metrics and recovering panics.
-// A collector bound to the worker goroutine gathers the registry of every
-// machine the job builds; snapshotting them afterwards yields the job's
-// metrics and its exact simulated-cycle count, even with concurrent
-// neighbors (which the old global-counter delta could not attribute).
-// An engine tracker bound the same way lets the runner Close every engine
-// the job built once it finishes: a job that abandons an engine mid-run
-// (bounded runs, panics) would otherwise leak one goroutine per process
-// still parked in it, accumulating across jobs.
-func runOne(index int, job Job, cfg Config) (res Result) {
-	res = Result{ID: job.ID, Index: index}
+// runOne executes a single job, retrying once — same seed, same schedule —
+// when the first attempt fails non-deterministically (a presumed
+// infrastructure hiccup). Deterministic failures and invariant violations
+// would only recur, so they report immediately.
+func runOne(index int, job Job, cfg Config) Result {
+	res := runAttempt(index, job, cfg, 1)
+	if je, ok := res.Err.(*JobError); ok && !je.Deterministic {
+		res = runAttempt(index, job, cfg, 2)
+		res.Attempts = 2
+	}
+	return res
+}
+
+// runAttempt executes one attempt of a job, capturing metrics and
+// recovering panics into structured errors. A collector bound to the
+// worker goroutine gathers the registry of every machine the job builds;
+// snapshotting them afterwards yields the job's metrics and its exact
+// simulated-cycle count, even with concurrent neighbors (which the old
+// global-counter delta could not attribute). An engine tracker bound the
+// same way lets the runner Close every engine the job built once it
+// finishes: a job that abandons an engine mid-run (bounded runs, panics)
+// would otherwise leak one goroutine per process still parked in it,
+// accumulating across jobs. The fault-injection and invariant collectors
+// follow the same ambient pattern, and the tracker applies the per-job
+// cycle budget to every engine at registration.
+func runAttempt(index int, job Job, cfg Config, attempt int) (res Result) {
+	res = Result{ID: job.ID, Index: index, Attempts: attempt}
 	start := time.Now()
 	col := metrics.NewCollector()
 	release := col.Bind()
 	trk := sim.NewTracker()
+	if cfg.CycleBudget > 0 {
+		trk.SetCycleLimit(sim.Cycle(cfg.CycleBudget))
+	}
 	releaseTrk := trk.Bind()
 	tcol := txtrace.NewCollector(cfg.Trace) // nil when tracing is disabled
 	releaseTrace := tcol.Bind()
+	fcol := faultinject.NewCollector(cfg.Faults) // nil without a schedule
+	releaseFaults := fcol.Bind()
+	icol := invariant.NewCollector(cfg.Invariants) // nil with oracles off
+	releaseInv := icol.Bind()
 	defer func() {
 		release()
 		releaseTrk()
 		releaseTrace()
+		releaseFaults()
+		releaseInv()
 		if p := recover(); p != nil {
-			res.Err = fmt.Errorf("job %s panicked: %v", job.ID, p)
+			res.Err = newJobError(job.ID, p, attempt)
 			res.Tables = nil
+		}
+		if n := icol.TotalViolations(); n > 0 {
+			res.Violations = icol.Violations()
+			if res.Err == nil {
+				res.Err = fmt.Errorf("job %s: %d invariant violation(s), first: %s",
+					job.ID, n, res.Violations[0])
+			}
 		}
 		if regs := col.Registries(); len(regs) > 0 {
 			snap := col.Snapshot()

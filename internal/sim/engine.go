@@ -86,6 +86,7 @@ type Engine struct {
 	fifoHead int
 
 	procs    []*Proc // live processes, for deadlock diagnostics and Close
+	limit    Cycle   // cycle budget; Step panics past it (0 = unlimited)
 	closed   bool
 	reported Cycle  // cycles already flushed into totalCycles
 	executed uint64 // events run by this engine
@@ -105,6 +106,25 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// CycleLimitError is the panic value raised by Step when simulated time
+// passes the engine's cycle limit (SetCycleLimit, or a Tracker budget). It
+// converts livelocked or runaway simulations into a structured failure the
+// job runner can report instead of hanging forever.
+type CycleLimitError struct {
+	Limit Cycle // the configured budget
+	Now   Cycle // the cycle that exceeded it
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("sim: cycle budget exceeded (limit %d, reached %d)", e.Limit, e.Now)
+}
+
+// SetCycleLimit installs a cycle budget: once simulated time advances past
+// limit, Step panics with *CycleLimitError. 0 removes the budget. The check
+// costs one comparison per time-advancing event; same-cycle events are
+// unaffected (time does not move).
+func (e *Engine) SetCycleLimit(limit Cycle) { e.limit = limit }
 
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // panics: it indicates a component computed a completion time before "now",
@@ -161,6 +181,10 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.when
+	if e.limit != 0 && e.now > e.limit {
+		e.flushCycles()
+		panic(&CycleLimitError{Limit: e.limit, Now: e.now})
+	}
 	e.executed++
 	if e.now-e.reported >= cycleFlushPeriod {
 		e.flushCycles()

@@ -1,6 +1,35 @@
 package sim
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// ProcPanic wraps a panic raised inside a simulated process. Without the
+// wrapper a workload panic unwinds the process goroutine — not the
+// goroutine driving the engine — and kills the whole program before any
+// caller-side recover can see it. The spawn wrapper captures the panic
+// here and the engine re-raises it on its own goroutine at the resume
+// point, so Drain/Step callers (the runner's per-job recover, tests) can
+// handle it like any other panic.
+type ProcPanic struct {
+	Proc  string // process name
+	Value any    // original panic value
+	Stack []byte // stack of the panicking goroutine at capture time
+}
+
+func (p *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.Proc, p.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As.
+func (p *ProcPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Proc is a simulated process: a goroutine co-scheduled with the engine's
 // event loop. Exactly one of {engine, some process} executes at a time.
@@ -14,8 +43,9 @@ type Proc struct {
 	yield     chan struct{} // proc -> engine: parked or finished
 	resumeFn  func()        // pre-bound p.resume: every wakeup schedules this one closure
 	finished  bool
-	suspended bool // parked via Suspend (awaiting an explicit Resume)
-	aborted   bool // set by Engine.Close before the final wake
+	suspended bool       // parked via Suspend (awaiting an explicit Resume)
+	aborted   bool       // set by Engine.Close before the final wake
+	panicked  *ProcPanic // captured panic, re-raised engine-side
 }
 
 // Go spawns fn as a simulated process starting at the current cycle.
@@ -35,6 +65,15 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.procs = append(e.procs, p)
 	go func() {
 		defer func() {
+			// recover returns nil during runtime.Goexit (the Close/abort
+			// path), so only genuine workload panics are captured.
+			if r := recover(); r != nil {
+				if pp, ok := r.(*ProcPanic); ok {
+					p.panicked = pp
+				} else {
+					p.panicked = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+				}
+			}
 			p.finished = true
 			p.yield <- struct{}{}
 		}()
@@ -56,6 +95,10 @@ func (p *Proc) resume() {
 	}
 	p.wake <- struct{}{}
 	<-p.yield
+	if pp := p.panicked; pp != nil {
+		p.panicked = nil
+		panic(pp)
+	}
 }
 
 // Engine returns the engine this process runs under.

@@ -14,16 +14,29 @@ import (
 // tracker around a job, NewEngine registers with it, and nothing needs
 // threading through the ~30 workload call sites.
 type Tracker struct {
-	mu      sync.Mutex
-	engines []*Engine
+	mu         sync.Mutex
+	engines    []*Engine
+	cycleLimit Cycle // applied to engines at registration (0 = none)
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker { return &Tracker{} }
 
+// SetCycleLimit makes every engine subsequently registered with the
+// tracker carry a cycle budget (see Engine.SetCycleLimit) — the runner's
+// per-job timeout. Engines that set their own limit keep it.
+func (t *Tracker) SetCycleLimit(limit Cycle) {
+	t.mu.Lock()
+	t.cycleLimit = limit
+	t.mu.Unlock()
+}
+
 // add records an engine. Called from NewEngine; safe from any goroutine.
 func (t *Tracker) add(e *Engine) {
 	t.mu.Lock()
+	if t.cycleLimit != 0 && e.limit == 0 {
+		e.limit = t.cycleLimit
+	}
 	t.engines = append(t.engines, e)
 	t.mu.Unlock()
 }

@@ -88,6 +88,8 @@ const (
 	// Anomaly instants (see Anomaly).
 	StageAnomalyBPQ
 	StageAnomalyWPQ
+	StageFaultInject        // a fault-injection plane fired (internal/faultinject)
+	StageInvariantViolation // a runtime invariant oracle tripped (internal/invariant)
 
 	numStages
 )
@@ -102,6 +104,7 @@ var stageNames = [numStages]string{
 	"mc2.bpq_forward", "mc2.bpq_merge", "mc2.bpq_wait", "mc2.bpq_hold",
 	"mc2.free",
 	"anomaly.bpq_saturated", "anomaly.wpq_reject",
+	"fault.inject", "invariant.violation",
 }
 
 func (s Stage) String() string {
@@ -166,8 +169,11 @@ const defaultBufferSpans = 1 << 16
 type AnomalyKind uint8
 
 const (
-	AnomalyBPQSaturated AnomalyKind = iota // source write waited for a BPQ slot
-	AnomalyWPQReject                       // bounce writeback refused (WPQ > threshold)
+	AnomalyBPQSaturated  AnomalyKind = iota // source write waited for a BPQ slot
+	AnomalyWPQReject                        // bounce writeback refused (WPQ > threshold)
+	AnomalyFaultInjected                    // a fault-injection plane fired (MC field carries the fault kind)
+	AnomalyInvariant                        // a runtime invariant oracle recorded a violation
+	AnomalyWatchdog                         // the transaction liveness watchdog tripped
 	numAnomalyKinds
 )
 
@@ -177,11 +183,20 @@ func (k AnomalyKind) String() string {
 		return "bpq_saturated"
 	case AnomalyWPQReject:
 		return "wpq_reject"
+	case AnomalyFaultInjected:
+		return "fault_injected"
+	case AnomalyInvariant:
+		return "invariant_violation"
+	case AnomalyWatchdog:
+		return "watchdog_trip"
 	}
 	return "anomaly(?)"
 }
 
-var anomalyStage = [numAnomalyKinds]Stage{StageAnomalyBPQ, StageAnomalyWPQ}
+var anomalyStage = [numAnomalyKinds]Stage{
+	StageAnomalyBPQ, StageAnomalyWPQ,
+	StageFaultInject, StageInvariantViolation, StageInvariantViolation,
+}
 
 // Anomaly is one trigger event.
 type Anomaly struct {
