@@ -1,0 +1,81 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"mcsquare/internal/dram"
+)
+
+// TestMain writes the aggregated conformance report when the environment
+// names a destination (the CI job sets MCSQ_CONFORMANCE_REPORT and uploads
+// the file as an artifact).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("MCSQ_CONFORMANCE_REPORT"); path != "" {
+		if err := writeReport(path); err != nil {
+			fmt.Fprintf(os.Stderr, "conformance: writing report: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// TestChannelOracles runs every closed-form channel oracle against every
+// registered backend at the default DDR4 geometry.
+func TestChannelOracles(t *testing.T) {
+	for _, b := range Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			checks := ChannelOracles(b, dram.DDR4Config())
+			record(checks...)
+			for _, c := range checks {
+				if !c.Pass {
+					t.Errorf("%s: expected %v %s, measured %v (tolerance %v) %s",
+						c.Name, c.Expected, c.Unit, c.Measured, c.Tolerance, c.Detail)
+				} else {
+					t.Logf("%s: %v %s (expected %v ± %v)",
+						c.Name, c.Measured, c.Unit, c.Expected, c.Tolerance)
+				}
+			}
+		})
+	}
+}
+
+// TestChannelOraclesAltGeometries re-derives every expectation for timing
+// sets far from the DDR4 defaults. The oracles must track the config, not
+// memorize constants — this is what lets a future backend (or a retuned
+// channel) reuse the suite.
+func TestChannelOraclesAltGeometries(t *testing.T) {
+	geometries := map[string]dram.Config{
+		"slow_bus": { // burst dominates: bus-limited everywhere
+			Banks: 8, RowSize: 4 << 10,
+			TRCD: 40, TRP: 40, TCAS: 40, TBL: 100, TCCD: 8, TWR: 48,
+		},
+		"tight_timings": {
+			Banks: 32, RowSize: 16 << 10,
+			TRCD: 20, TRP: 24, TCAS: 16, TBL: 4, TCCD: 4, TWR: 20,
+		},
+		"single_bank": {
+			Banks: 1, RowSize: 8 << 10,
+			TRCD: 56, TRP: 56, TCAS: 56, TBL: 10, TCCD: 8, TWR: 60,
+		},
+	}
+	for _, b := range Backends() {
+		b := b
+		for name, cfg := range geometries {
+			cfg := cfg
+			t.Run(b.Name+"/"+name, func(t *testing.T) {
+				for _, c := range ChannelOracles(b, cfg) {
+					if !c.Pass {
+						t.Errorf("%s: expected %v %s, measured %v (tolerance %v)",
+							c.Name, c.Expected, c.Unit, c.Measured, c.Tolerance)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package conformance validates the simulator against analytically derived
+// ground truth instead of against itself.
+//
+// Determinism tests prove outputs are stable; nothing about stability says
+// they are right. This package closes that gap with three pillars:
+//
+//  1. Closed-form oracles: directed access generators (row-hit streams,
+//     row-miss ping-pong, N-bank interleave, read/write turnaround,
+//     saturating sequential streams) are driven through dram.Channel and
+//     end-to-end through memctrl and machine, and the observed completion
+//     times are compared against latencies and bandwidths computed in
+//     closed form from the dram.Config timing parameters. Derivations live
+//     in DESIGN.md §13; the tolerance policy is "exact at the channel and
+//     controller level, analytic bounds plus an additivity law end-to-end".
+//
+//  2. Metamorphic invariants: scaling laws the model must obey regardless
+//     of its constants — halving the burst time doubles bus-limited peak
+//     bandwidth, adding banks never slows a fixed (bank, row) trace, lazy
+//     (MC)² runs leave the same visible memory image as eager copies, and
+//     the CTT byte ledger conserves (deferred = tracked + untracked, with
+//     every untracked byte attributed to exactly one cause).
+//
+//  3. Mutation detection: internal/dram's -tags mcsq_skew build silently
+//     lengthens tCAS while Config reports the nominal value; CI asserts
+//     this package FAILS under that build, proving the oracles have teeth.
+//
+// New timing backends (a DMA engine, CXL memory) register a Backend here
+// and inherit the whole channel-level suite.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"mcsquare/internal/dram"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// Timer is the minimal surface a channel timing backend must expose to be
+// validated: the dram.Channel contract of "one timed access, completion
+// cycle returned". dram.Channel satisfies it directly.
+type Timer interface {
+	// Access performs a cacheline access beginning no earlier than now and
+	// returns the cycle its data burst completes.
+	Access(now sim.Cycle, a memdata.Addr, write bool) sim.Cycle
+	// Config reports the timing parameters the oracles derive expectations
+	// from.
+	Config() dram.Config
+}
+
+// Backend is one registered channel timing model. New must return a fresh
+// timer (cold banks, idle bus) for the given configuration; oracles create
+// many independent timers per run.
+type Backend struct {
+	Name string
+	New  func(cfg dram.Config) Timer
+}
+
+var (
+	backendMu sync.Mutex
+	backends  []Backend
+)
+
+// RegisterBackend adds a timing backend to the conformance registry. Every
+// registered backend is run through the full channel-level oracle suite by
+// TestChannelOracles. Duplicate names panic: the report keys checks by
+// backend name.
+func RegisterBackend(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	for _, x := range backends {
+		if x.Name == b.Name {
+			panic(fmt.Sprintf("conformance: duplicate backend %q", b.Name))
+		}
+	}
+	backends = append(backends, b)
+}
+
+// Backends returns the registered backends in registration order.
+func Backends() []Backend {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	return append([]Backend(nil), backends...)
+}
+
+func init() {
+	RegisterBackend(Backend{
+		Name: "ddr4",
+		New:  func(cfg dram.Config) Timer { return dram.NewChannel(cfg) },
+	})
+}
+
+// Check is one oracle comparison: a measured quantity against its
+// closed-form expectation. Tolerance is absolute, in the same unit.
+type Check struct {
+	Name      string  `json:"name"`
+	Backend   string  `json:"backend,omitempty"`
+	Unit      string  `json:"unit"`
+	Expected  float64 `json:"expected"`
+	Measured  float64 `json:"measured"`
+	Tolerance float64 `json:"tolerance"`
+	Pass      bool    `json:"pass"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// eval fills Pass from the comparison.
+func (c Check) eval() Check {
+	diff := c.Expected - c.Measured
+	if diff < 0 {
+		diff = -diff
+	}
+	c.Pass = diff <= c.Tolerance
+	return c
+}
+
+// exactCycles builds a zero-tolerance cycle-count check.
+func exactCycles(name string, expected, measured sim.Cycle) Check {
+	return Check{
+		Name:     name,
+		Unit:     "cycles",
+		Expected: float64(expected),
+		Measured: float64(measured),
+	}.eval()
+}
+
+// Report aggregates every check from one suite run; the conformance CI job
+// uploads it as a JSON artifact.
+type Report struct {
+	Suite    string  `json:"suite"`
+	Checks   []Check `json:"checks"`
+	Passes   int     `json:"passes"`
+	Failures int     `json:"failures"`
+}
+
+var (
+	reportMu  sync.Mutex
+	runReport = &Report{Suite: "timing-conformance"}
+)
+
+// record adds checks to the run-wide report (written by TestMain when
+// MCSQ_CONFORMANCE_REPORT names a path).
+func record(cs ...Check) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	for _, c := range cs {
+		runReport.Checks = append(runReport.Checks, c)
+		if c.Pass {
+			runReport.Passes++
+		} else {
+			runReport.Failures++
+		}
+	}
+}
+
+// writeReport dumps the aggregated report as indented JSON, checks sorted
+// by (backend, name) for stable artifacts.
+func writeReport(path string) error {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	sort.SliceStable(runReport.Checks, func(i, j int) bool {
+		a, b := runReport.Checks[i], runReport.Checks[j]
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		return a.Name < b.Name
+	})
+	data, err := json.MarshalIndent(runReport, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

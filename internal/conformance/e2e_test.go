@@ -1,0 +1,166 @@
+package conformance
+
+import (
+	"testing"
+
+	"mcsquare/internal/cache"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// baselineParams is the single-core, single-channel, prefetch-off machine
+// the end-to-end latency oracles run on: every load's path is
+// core → L1 → L2 → interconnect → controller → DRAM with nothing
+// overlapping, so completion times decompose exactly.
+func baselineParams() machine.Params {
+	p := machine.DefaultParams()
+	p.Cores = 1
+	p.Channels = 1
+	p.Cache = cache.DefaultConfig(1)
+	p.Cache.Prefetch.Enabled = false
+	p.LazyEnabled = false
+	return p
+}
+
+// TestMachineLatencyDecomposition pins the exact end-to-end latency of the
+// three canonical loads on an idle machine. A demand miss costs
+//
+//	IssueCost + L1Latency + L2Latency + 2·XConLat + dramLat
+//
+// with dramLat the channel closed form (cold activate or row hit), and an
+// L1 hit costs IssueCost + L1Latency. Zero tolerance: any extra or missing
+// cycle anywhere on the load path breaks this.
+func TestMachineLatencyDecomposition(t *testing.T) {
+	p := baselineParams()
+	m := machine.New(p)
+	a := m.Alloc(1<<20, memdata.LineSize)
+
+	memPath := p.CPU.IssueCost + p.Cache.L1Latency + p.Cache.L2Latency + 2*p.Cache.XConLat
+	var cold, hit, l1 sim.Cycle
+	m.Run(func(c *cpu.Core) {
+		s := c.Now()
+		c.Load(a, 8)
+		cold = c.Now() - s
+		s = c.Now()
+		c.Load(a+memdata.LineSize, 8) // next line, same DRAM row
+		hit = c.Now() - s
+		s = c.Now()
+		c.Load(a, 8) // still resident in L1
+		l1 = c.Now() - s
+	})
+
+	checks := []Check{
+		exactCycles("e2e_cold_load_latency",
+			memPath+p.DRAM.TRCD+p.DRAM.TCAS+p.DRAM.TBL, cold),
+		exactCycles("e2e_rowhit_load_latency",
+			memPath+p.DRAM.TCAS+p.DRAM.TBL, hit),
+		exactCycles("e2e_l1_hit_latency",
+			p.CPU.IssueCost+p.Cache.L1Latency, l1),
+	}
+	record(checks...)
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("%s: expected %v %s, measured %v",
+				c.Name, c.Expected, c.Unit, c.Measured)
+		} else {
+			t.Logf("%s: %v %s", c.Name, c.Measured, c.Unit)
+		}
+	}
+}
+
+// TestMachineTCASAdditivity is the end-to-end additivity law: on two
+// machines identical except for a ΔtCAS in the DRAM config, a chain of K
+// dependent cache-missing loads completes exactly K·Δ cycles later on the
+// slower machine. Every load crosses DRAM exactly once, tCAS sits on the
+// critical path of every access, and the dependent chain leaves the banks
+// and bus idle between accesses, so nothing can absorb the delta. This is
+// the whole-stack version of the mutation canary: a model that loses or
+// double-charges tCAS anywhere between core and DRAM fails it.
+func TestMachineTCASAdditivity(t *testing.T) {
+	const (
+		K     = 64
+		delta = 16
+	)
+	run := func(extraTCAS sim.Cycle) sim.Cycle {
+		p := baselineParams()
+		p.DRAM.TCAS += extraTCAS
+		m := machine.New(p)
+		base := m.Alloc(64<<20, memdata.LineSize)
+		// Distinct lines spread by an odd stride of rows so no two loads
+		// share a cacheline and the L2 holds them all without eviction.
+		return m.Run(func(c *cpu.Core) {
+			for i := uint64(0); i < K; i++ {
+				c.Load(base+memdata.Addr(i*37*p.DRAM.RowSize), 8)
+			}
+		})
+	}
+	fast, slow := run(0), run(delta)
+	ck := exactCycles("e2e_tcas_additivity_delta", K*delta, slow-fast)
+	record(ck)
+	if !ck.Pass {
+		t.Errorf("K·Δ additivity: expected %v extra cycles, measured %v (fast=%d slow=%d)",
+			ck.Expected, ck.Measured, fast, slow)
+	} else {
+		t.Logf("Δ completion = %v cycles for K=%d, Δ=%d", ck.Measured, K, delta)
+	}
+}
+
+// TestMachineStreamingBandwidth bounds full-machine streaming read
+// bandwidth. The ceiling is analytic and inviolable: Channels data buses,
+// each delivering at most one line per tBL. The floor is an empirical
+// regression guard — with deep queues (so the cores, not the queues, are
+// never the limiter) the wired machine has historically sustained ≥52% of
+// the bus ceiling on this generator; dropping under 45% means someone
+// serialized the memory path. Tolerances documented in DESIGN.md §13.
+func TestMachineStreamingBandwidth(t *testing.T) {
+	p := machine.DefaultParams()
+	p.LazyEnabled = false
+	p.Cache.MSHRsPerCore = 64
+	p.Cache.Prefetch.MaxInflight = 64
+	p.MC.RPQCapacity = 256
+	m := machine.New(p)
+
+	const region = 1 << 20
+	bases := make([]memdata.Addr, p.Cores)
+	for i := range bases {
+		bases[i] = m.Alloc(region, 1<<12)
+	}
+	ws := make([]func(c *cpu.Core), p.Cores)
+	for i := range ws {
+		base := bases[i]
+		ws[i] = func(c *cpu.Core) {
+			for off := memdata.Addr(0); off < region; off += memdata.LineSize {
+				c.LoadAsync(base+off, 8)
+			}
+			c.Fence()
+		}
+	}
+	last := m.Run(ws...)
+
+	bw := float64(p.Cores) * region / float64(last)
+	ceiling := float64(p.Channels) * float64(memdata.LineSize) / float64(p.DRAM.TBL)
+	checks := []Check{
+		{
+			Name: "e2e_stream_bw_under_ceiling", Unit: "bytes/cycle",
+			Expected: ceiling, Measured: bw, Tolerance: 0,
+			Pass:   bw <= ceiling,
+			Detail: "one-sided: measured must not exceed Channels·LineSize/tBL",
+		},
+		{
+			Name: "e2e_stream_bw_floor", Unit: "bytes/cycle",
+			Expected: 0.45 * ceiling, Measured: bw, Tolerance: 0,
+			Pass:   bw >= 0.45*ceiling,
+			Detail: "one-sided regression floor at 45% of bus ceiling",
+		},
+	}
+	record(checks...)
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("%s: measured %.3f %s vs bound %.3f", c.Name, c.Measured, c.Unit, c.Expected)
+		} else {
+			t.Logf("%s: %.3f %s (bound %.3f)", c.Name, c.Measured, c.Unit, c.Expected)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package conformance
+
+import (
+	"fmt"
+
+	"mcsquare/internal/dram"
+	"mcsquare/internal/memdata"
+	"mcsquare/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Reference address mapping
+// ---------------------------------------------------------------------------
+//
+// The oracles need addresses with known bank relationships (same bank +
+// different row, N distinct banks, ...). They derive them from the channel
+// layout documented at dram.(*Channel).mapAddr — [row | bank | column] with
+// the higher row bits XOR-folded into the bank index — which the table-
+// driven tests in internal/dram pin against the implementation. Backends
+// registering here are expected to use the same layout.
+
+// refBankRow is the documented address decomposition.
+func refBankRow(cfg dram.Config, a memdata.Addr) (bank int, row int64) {
+	rowID := uint64(a) / cfg.RowSize
+	banks := uint64(cfg.Banks)
+	hash := rowID
+	if banks > 1 { // folding by 1 would never terminate
+		for h := rowID / banks; h != 0; h /= banks {
+			hash ^= h
+		}
+	}
+	return int(hash % banks), int64(rowID / banks)
+}
+
+// rowAddr returns the first byte address of the given rowID.
+func rowAddr(cfg dram.Config, rowID uint64) memdata.Addr {
+	return memdata.Addr(rowID * cfg.RowSize)
+}
+
+// conflictingRow finds the smallest rowID that shares row 0's bank with a
+// different row index (an activate/precharge conflict partner).
+func conflictingRow(cfg dram.Config) uint64 {
+	b0, r0 := refBankRow(cfg, rowAddr(cfg, 0))
+	for rid := uint64(1); rid < 1<<20; rid++ {
+		if b, r := refBankRow(cfg, rowAddr(cfg, rid)); b == b0 && r != r0 {
+			return rid
+		}
+	}
+	panic("conformance: no conflicting row found")
+}
+
+// distinctBankRows returns n rowIDs mapping to n distinct banks.
+func distinctBankRows(cfg dram.Config, n int) []uint64 {
+	if n > cfg.Banks {
+		panic(fmt.Sprintf("conformance: want %d banks, channel has %d", n, cfg.Banks))
+	}
+	seen := map[int]bool{}
+	var out []uint64
+	for rid := uint64(0); len(out) < n && rid < 1<<20; rid++ {
+		if b, _ := refBankRow(cfg, rowAddr(cfg, rid)); !seen[b] {
+			seen[b] = true
+			out = append(out, rid)
+		}
+	}
+	if len(out) < n {
+		panic("conformance: bank search exhausted")
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form channel oracles
+// ---------------------------------------------------------------------------
+//
+// Derivations (DESIGN.md §13). Writing tACT = tRCD+tCAS for the cold-bank
+// column latency and C = tCCD+tCAS for the same-bank column interval, the
+// bank-busy-until model yields, exactly:
+//
+//	cold access            tRCD + tCAS + tBL
+//	isolated row hit       tCAS + tBL
+//	row conflict           tRP + tRCD + tCAS + tBL
+//	hit-stream interval    max(tCCD+tCAS, tBL)        (back-to-back issue)
+//	ping-pong interval     max(tCCD+tRP+tRCD+tCAS, tBL)
+//	write→read turnaround  tWR + tCAS + tBL           (after the write burst)
+//	write→write interval   max(tBL, tCCD) + tCAS      (serial issue)
+//	N-bank interleave      max(tBL, (tCCD+tCAS)/N) per access, steady state
+//	sequential stream      per row: tBL to open (bus-limited) then
+//	                       (linesPerRow-1)·(tCCD+tCAS)
+//
+// Note the same-bank hit stream is column-serialized at tCCD+tCAS, not
+// bus-limited at tBL: the model charges the full tCAS latency before each
+// burst with no column pipelining. Bus saturation therefore needs at least
+// ⌈(tCCD+tCAS)/tBL⌉ banks — which is what the interleave oracle measures.
+
+// ChannelOracles runs every channel-level closed-form oracle against the
+// backend at the given config and returns the checks (Pass already filled,
+// tolerance zero unless stated in the check's Detail).
+func ChannelOracles(b Backend, cfg dram.Config) []Check {
+	var out []Check
+	add := func(c Check) {
+		c.Backend = b.Name
+		out = append(out, c)
+	}
+
+	a0 := rowAddr(cfg, 0)
+	aConf := rowAddr(cfg, conflictingRow(cfg))
+
+	// Cold access, isolated row hit, row conflict: serial issue so each
+	// latency is observed in isolation.
+	{
+		t := b.New(cfg)
+		d1 := t.Access(0, a0, false)
+		add(exactCycles("cold_access_latency", cfg.TRCD+cfg.TCAS+cfg.TBL, d1))
+		d2 := t.Access(d1, a0+memdata.LineSize, false)
+		add(exactCycles("row_hit_latency", cfg.TCAS+cfg.TBL, d2-d1))
+		d3 := t.Access(d2, aConf, false)
+		add(exactCycles("row_conflict_latency", cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBL, d3-d2))
+	}
+
+	// Write→read turnaround and write→write pipelining.
+	{
+		t := b.New(cfg)
+		dw := t.Access(0, a0, true)
+		add(exactCycles("write_done", cfg.TRCD+cfg.TCAS+cfg.TBL, dw))
+		dr := t.Access(dw, a0, false)
+		add(exactCycles("write_read_turnaround", cfg.TWR+cfg.TCAS+cfg.TBL, dr-dw))
+	}
+	{
+		t := b.New(cfg)
+		dw := t.Access(0, a0, true)
+		dw2 := t.Access(dw, a0+memdata.LineSize, true)
+		add(exactCycles("write_write_interval", max(cfg.TBL, cfg.TCCD)+cfg.TCAS, dw2-dw))
+	}
+
+	// Single-bank row-hit stream, back-to-back issue: K accesses to one
+	// open row, all posted at cycle 0 (an infinitely deep queue).
+	{
+		const K = 64
+		t := b.New(cfg)
+		var done sim.Cycle
+		for i := 0; i < K; i++ {
+			done = t.Access(0, a0+memdata.Addr(i%64)*memdata.LineSize, false)
+		}
+		exp := cfg.TRCD + cfg.TCAS + cfg.TBL + (K-1)*max(cfg.TCCD+cfg.TCAS, cfg.TBL)
+		add(exactCycles("hit_stream_completion", exp, done))
+	}
+
+	// Row-miss ping-pong: K accesses alternating between two conflicting
+	// rows of one bank, all posted at cycle 0.
+	{
+		const K = 32
+		t := b.New(cfg)
+		var done sim.Cycle
+		for i := 0; i < K; i++ {
+			a := a0
+			if i%2 == 1 {
+				a = aConf
+			}
+			done = t.Access(0, a, false)
+		}
+		exp := cfg.TRCD + cfg.TCAS + cfg.TBL +
+			(K-1)*max(cfg.TCCD+cfg.TRP+cfg.TRCD+cfg.TCAS, cfg.TBL)
+		add(exactCycles("miss_pingpong_completion", exp, done))
+	}
+
+	// N-bank interleave: round-robin row hits across N banks, all posted at
+	// cycle 0. Steady-state interval per access is max(tBL, (tCCD+tCAS)/N):
+	// the bank-level-parallelism curve, and the generator that saturates the
+	// bus once N·tBL ≥ tCCD+tCAS.
+	for _, c := range interleaveChecks(b, cfg) {
+		add(c)
+	}
+
+	// Saturating sequential stream (directed; preconditions checked).
+	if c, ok := sequentialStreamCheck(b, cfg); ok {
+		add(c)
+	}
+
+	return out
+}
+
+// interleaveChecks measures the steady-state interleave interval for each
+// power-of-two bank count up to the channel's, over a window aligned to N
+// so fractional per-access intervals are exact.
+func interleaveChecks(b Backend, cfg dram.Config) []Check {
+	var out []Check
+	for n := 1; n <= cfg.Banks; n *= 2 {
+		rows := distinctBankRows(cfg, n)
+		t := b.New(cfg)
+		const rounds = 64 // accesses per bank
+		warm := rounds / 2 * n
+		var warmDone, done sim.Cycle
+		for i := 0; i < rounds*n; i++ {
+			line := memdata.Addr(i/n) % (memdata.Addr(cfg.RowSize) / memdata.LineSize)
+			done = t.Access(0, rowAddr(cfg, rows[i%n])+line*memdata.LineSize, false)
+			if i+1 == warm {
+				warmDone = done
+			}
+		}
+		window := rounds*n - warm
+		measured := float64(done-warmDone) / float64(window)
+		exp := float64(cfg.TBL)
+		if perBank := float64(cfg.TCCD+cfg.TCAS) / float64(n); perBank > exp {
+			exp = perBank
+		}
+		out = append(out, Check{
+			Name:      fmt.Sprintf("interleave_%02dbank_interval", n),
+			Unit:      "cycles/access",
+			Expected:  exp,
+			Measured:  measured,
+			Tolerance: 1e-9,
+			Detail:    "steady-state, window aligned to bank count",
+		}.eval())
+	}
+	return out
+}
+
+// sequentialStreamCheck drives a saturating sequential stream (every line
+// of 2·Banks consecutive rows, posted at cycle 0) and checks the exact
+// completion time: each row costs tBL to open (hidden behind the previous
+// row's bursts) plus (linesPerRow-1)·(tCCD+tCAS) of column-serialized hits.
+// Returns ok=false for geometries where the derivation's preconditions do
+// not hold (consecutive rows sharing a bank, or rows too short to hide the
+// activate latency).
+func sequentialStreamCheck(b Backend, cfg dram.Config) (Check, bool) {
+	linesPerRow := sim.Cycle(cfg.RowSize / memdata.LineSize)
+	rows := sim.Cycle(2 * cfg.Banks)
+	colInterval := cfg.TCCD + cfg.TCAS
+
+	// Preconditions for the closed form.
+	if linesPerRow < 2 || colInterval < cfg.TBL {
+		return Check{}, false
+	}
+	// A row's worth of column traffic must hide the next row's activate
+	// (and a revisited bank's precharge+activate).
+	if (linesPerRow-1)*colInterval < cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBL {
+		return Check{}, false
+	}
+	// Consecutive rows must land on distinct banks, and a bank must rest at
+	// least one row before being revisited.
+	prev := [2]int{-1, -1}
+	for r := sim.Cycle(0); r < rows; r++ {
+		bank, _ := refBankRow(cfg, rowAddr(cfg, uint64(r)))
+		if bank == prev[0] || bank == prev[1] {
+			return Check{}, false
+		}
+		prev[0], prev[1] = prev[1], bank
+	}
+
+	t := b.New(cfg)
+	var done sim.Cycle
+	for r := sim.Cycle(0); r < rows; r++ {
+		base := rowAddr(cfg, uint64(r))
+		for l := sim.Cycle(0); l < linesPerRow; l++ {
+			done = t.Access(0, base+memdata.Addr(l)*memdata.LineSize, false)
+		}
+	}
+	// First access pays the cold activate; every row then contributes
+	// (linesPerRow-1) column intervals; each of the (rows-1) transitions
+	// plus the final burst contributes tBL.
+	exp := cfg.TRCD + cfg.TCAS + rows*(linesPerRow-1)*colInterval + rows*cfg.TBL
+	return exactCycles("sequential_stream_completion", exp, done), true
+}
+
+// peakBandwidth measures bus-saturating read bandwidth (bytes/cycle) via a
+// full-bank interleave of rounds accesses per bank, posted at cycle 0.
+// Used by the burst-halving metamorphic law.
+func peakBandwidth(b Backend, cfg dram.Config, rounds int) float64 {
+	rows := distinctBankRows(cfg, cfg.Banks)
+	t := b.New(cfg)
+	n := len(rows)
+	warm := rounds / 2 * n
+	var warmDone, done sim.Cycle
+	for i := 0; i < rounds*n; i++ {
+		line := memdata.Addr(i/n) % (memdata.Addr(cfg.RowSize) / memdata.LineSize)
+		done = t.Access(0, rowAddr(cfg, rows[i%n])+line*memdata.LineSize, false)
+		if i+1 == warm {
+			warmDone = done
+		}
+	}
+	return float64((rounds*n-warm)*memdata.LineSize) / float64(done-warmDone)
+}

@@ -65,6 +65,21 @@ type CTTStats struct {
 	Trims      uint64 // destination-range removals (writes, bounces, MCFREE)
 	Removed    uint64 // entries fully removed
 	HighWater  int    // max simultaneous entries
+
+	// Byte ledger: every destination byte that enters tracking is counted
+	// in DeferredBytes (post-collapse, post-identity-drop), and every byte
+	// that leaves is counted in UntrackedBytes; ReplacedBytes is the
+	// portion of UntrackedBytes trimmed by a newer overlapping Insert.
+	// The books are kept by independent code paths (Insert's piece loop vs
+	// RemoveDestRange's geometric trimming vs the per-entry size deltas
+	// behind TrackedBytes), so
+	//
+	//	DeferredBytes - UntrackedBytes == TrackedBytes()
+	//
+	// is a real conservation law, checked by CheckInvariants.
+	DeferredBytes  uint64 // destination bytes newly tracked by Insert
+	UntrackedBytes uint64 // destination bytes untracked via RemoveDestRange
+	ReplacedBytes  uint64 // untracked bytes displaced by a newer Insert
 }
 
 // CTT is the Copy Tracking Table. It is a pure data structure: all timing
@@ -80,6 +95,10 @@ type CTT struct {
 	order   []uint64 // insertion order of live entry IDs (lazily compacted)
 	dstSeg  map[uint64][]*Entry
 	srcSeg  map[uint64][]*Entry
+	// trackedBytes is the summed destination size of live entries,
+	// maintained incrementally by register/remove/mutate and cross-checked
+	// against the entry map by CheckInvariants.
+	trackedBytes uint64
 
 	Stats CTTStats
 }
@@ -118,6 +137,7 @@ func (t *CTT) register(e *Entry) {
 	t.entries[e.ID] = e
 	t.order = append(t.order, e.ID)
 	t.indexAdd(e)
+	t.trackedBytes += e.Dst.Size
 	if len(t.entries) > t.Stats.HighWater {
 		t.Stats.HighWater = len(t.entries)
 	}
@@ -157,6 +177,7 @@ func (t *CTT) indexRemove(e *Entry) {
 func (t *CTT) remove(e *Entry) {
 	t.indexRemove(e)
 	delete(t.entries, e.ID)
+	t.trackedBytes -= e.Dst.Size
 	t.Stats.Removed++
 }
 
@@ -164,6 +185,7 @@ func (t *CTT) remove(e *Entry) {
 // are refreshed and its new geometry installed.
 func (t *CTT) mutate(e *Entry, dst memdata.Range, src memdata.Addr) {
 	t.indexRemove(e)
+	t.trackedBytes += dst.Size - e.Dst.Size // unsigned wrap cancels out
 	e.Dst = dst
 	e.Src = src
 	t.indexAdd(e)
@@ -242,9 +264,13 @@ func (t *CTT) RemoveDestRange(r memdata.Range) uint64 {
 	}
 	if trimmed > 0 {
 		t.Stats.Trims++
+		t.Stats.UntrackedBytes += trimmed
 	}
 	return trimmed
 }
+
+// TrackedBytes returns the summed destination size of live entries.
+func (t *CTT) TrackedBytes() uint64 { return t.trackedBytes }
 
 // trimEntry removes the part of e's destination overlapped by r.
 func (t *CTT) trimEntry(e *Entry, r memdata.Range) {
@@ -378,8 +404,9 @@ func (t *CTT) Insert(dst memdata.Range, src memdata.Addr) bool {
 		return false
 	}
 
-	t.RemoveDestRange(dst)
+	t.Stats.ReplacedBytes += t.RemoveDestRange(dst)
 	for _, p := range pieces {
+		t.Stats.DeferredBytes += p.dst.Size
 		if t.tryMerge(p) {
 			continue
 		}
@@ -438,6 +465,17 @@ func (t *CTT) Smallest() *Entry {
 func (t *CTT) CheckInvariants() error {
 	if len(t.entries) > t.capacity {
 		return fmt.Errorf("ctt: %d entries exceed capacity %d", len(t.entries), t.capacity)
+	}
+	var liveBytes uint64
+	for _, e := range t.entries {
+		liveBytes += e.Dst.Size
+	}
+	if liveBytes != t.trackedBytes {
+		return fmt.Errorf("ctt: tracked-byte counter %d != live entry bytes %d", t.trackedBytes, liveBytes)
+	}
+	if t.Stats.DeferredBytes-t.Stats.UntrackedBytes != t.trackedBytes {
+		return fmt.Errorf("ctt: byte conservation violated: deferred %d - untracked %d != tracked %d",
+			t.Stats.DeferredBytes, t.Stats.UntrackedBytes, t.trackedBytes)
 	}
 	ents := t.Entries()
 	for i, e := range ents {

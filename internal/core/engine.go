@@ -99,6 +99,15 @@ type EngineStats struct {
 	WritebackRetries        uint64 // rejected writebacks retried with backoff
 	WritebackRetrySuccesses uint64 // retried writebacks that eventually landed
 	WritebackRetryGiveups   uint64 // retried writebacks that exhausted attempts
+
+	// Untracked-byte classification: every byte the CTT stops tracking is
+	// attributed to exactly one cause at its RemoveDestRange call site.
+	// Together with the CTT's ReplacedBytes (bytes displaced by a newer
+	// MCLAZY) these partition CTTStats.UntrackedBytes — the conservation
+	// law CheckConservation verifies.
+	OverwrittenBytes  uint64 // untracked because the CPU overwrote the destination
+	MaterializedBytes uint64 // untracked because the engine copied the bytes (bounce writebacks, BPQ cascades, async frees)
+	MCFreedBytes      uint64 // untracked by an MCFREE hint
 }
 
 type heldWrite struct {
@@ -194,6 +203,27 @@ func (e *Engine) SetInvariants(o *invariant.Oracles) {
 // Idle reports whether no lazy-copy machinery is in flight.
 func (e *Engine) Idle() bool {
 	return len(e.held) == 0 && len(e.heldWaiters) == 0 && len(e.pending) == 0 && e.freeWorkers == 0
+}
+
+// CheckConservation verifies the CTT/BPQ byte-conservation laws: every
+// destination byte ever deferred by an accepted MCLAZY is either still
+// tracked or was untracked for exactly one attributed reason — displaced by
+// a newer MCLAZY, overwritten by the CPU, materialized by the engine's own
+// copies (bounces, BPQ cascades, async frees), or dropped by an MCFREE
+// hint. Valid at any point; the attribution partition additionally requires
+// no trims from unclassified call sites, which this check enforces.
+func (e *Engine) CheckConservation() error {
+	cs := e.ctt.Stats
+	if cs.DeferredBytes-cs.UntrackedBytes != e.ctt.TrackedBytes() {
+		return fmt.Errorf("core: CTT byte conservation violated: deferred %d - untracked %d != tracked %d",
+			cs.DeferredBytes, cs.UntrackedBytes, e.ctt.TrackedBytes())
+	}
+	attributed := cs.ReplacedBytes + e.Stats.OverwrittenBytes + e.Stats.MaterializedBytes + e.Stats.MCFreedBytes
+	if attributed != cs.UntrackedBytes {
+		return fmt.Errorf("core: untracked bytes unattributed: replaced %d + overwritten %d + materialized %d + mcfreed %d != untracked %d",
+			cs.ReplacedBytes, e.Stats.OverwrittenBytes, e.Stats.MaterializedBytes, e.Stats.MCFreedBytes, cs.UntrackedBytes)
+	}
+	return nil
 }
 
 // mcHook adapts the engine to one controller's memctrl.Hook.
@@ -426,7 +456,7 @@ func (e *Engine) filterWrite(mc int, a memdata.Addr, data []byte, tx txtrace.Tx,
 	if !e.ctt.HasSrcOverlap(lineRange(a)) {
 		// Write to destination (or untracked): stop tracking the line and
 		// let the controller perform the write normally.
-		e.ctt.RemoveDestRange(lineRange(a))
+		e.Stats.OverwrittenBytes += e.ctt.RemoveDestRange(lineRange(a))
 		e.wakePending()
 		return false
 	}
@@ -463,7 +493,7 @@ func (e *Engine) hookedWrite(a memdata.Addr, data []byte, tx txtrace.Tx, release
 			inner := release
 			release = func() { e.inv.EndInternalWrite(a); inner() }
 		}
-		e.ctt.RemoveDestRange(lineRange(a))
+		e.Stats.MaterializedBytes += e.ctt.RemoveDestRange(lineRange(a))
 		e.wakePending()
 		e.mcs[mc].RawWriteLineOwnedTx(a, data, tx, release)
 		return
@@ -527,7 +557,7 @@ func (e *Engine) processSrcWrite(mc int, a memdata.Addr, data []byte, tx txtrace
 			return
 		}
 		// The held line may itself have been a tracked destination.
-		e.ctt.RemoveDestRange(lr)
+		e.Stats.OverwrittenBytes += e.ctt.RemoveDestRange(lr)
 		delete(e.held, a)
 		e.tr.EndFlags(hsp, uint64(e.eng.Now()), txtrace.FlagWrite)
 		// Unheld but not yet WPQ-accepted: reads in this window fetch stale
@@ -766,7 +796,7 @@ func (e *Engine) MCFree(r memdata.Range, tx txtrace.Tx, done func()) {
 				e.inv.CheckFreeLine(l, e.peekVisibleLine(l))
 			}
 		}
-		e.ctt.RemoveDestRange(inner)
+		e.Stats.MCFreedBytes += e.ctt.RemoveDestRange(inner)
 		// Freed lines are undefined; stale in-flight reconstructions must
 		// not land after the free and resurrect old data as fresh writes.
 		for _, l := range inner.Lines() {

@@ -32,6 +32,9 @@ func (e *Engine) PublishMetrics(s metrics.Scope) {
 	en.Counter("writeback_retries", &e.Stats.WritebackRetries)
 	en.Counter("writeback_retry_successes", &e.Stats.WritebackRetrySuccesses)
 	en.Counter("writeback_retry_giveups", &e.Stats.WritebackRetryGiveups)
+	en.Counter("overwritten_bytes", &e.Stats.OverwrittenBytes)
+	en.Counter("materialized_bytes", &e.Stats.MaterializedBytes)
+	en.Counter("mcfreed_bytes", &e.Stats.MCFreedBytes)
 
 	ct := s.Scope("ctt")
 	ct.Counter("inserts", &e.ctt.Stats.Inserts)
@@ -41,6 +44,10 @@ func (e *Engine) PublishMetrics(s metrics.Scope) {
 	ct.Counter("identities", &e.ctt.Stats.Identities)
 	ct.Counter("trims", &e.ctt.Stats.Trims)
 	ct.Counter("removed", &e.ctt.Stats.Removed)
+	ct.Counter("deferred_bytes", &e.ctt.Stats.DeferredBytes)
+	ct.Counter("untracked_bytes", &e.ctt.Stats.UntrackedBytes)
+	ct.Counter("replaced_bytes", &e.ctt.Stats.ReplacedBytes)
 	ct.Gauge("high_water", func() float64 { return float64(e.ctt.Stats.HighWater) })
 	ct.Gauge("entries", func() float64 { return float64(e.ctt.Len()) })
+	ct.Gauge("tracked_bytes", func() float64 { return float64(e.ctt.TrackedBytes()) })
 }

@@ -93,8 +93,10 @@ func (c *Channel) mapAddr(a memdata.Addr) (bankIdx int, row int64) {
 	rowID := uint64(a) / c.cfg.RowSize
 	banks := uint64(c.cfg.Banks)
 	hash := rowID
-	for h := rowID / banks; h != 0; h /= banks {
-		hash ^= h
+	if banks > 1 { // folding by 1 would never terminate
+		for h := rowID / banks; h != 0; h /= banks {
+			hash ^= h
+		}
 	}
 	bankIdx = int(hash % banks)
 	row = int64(rowID / banks)
@@ -129,6 +131,7 @@ func (c *Channel) Access(now sim.Cycle, a memdata.Addr, write bool) sim.Cycle {
 		start = max(start, b.wrUntil) // precharge waits for tWR
 	}
 	b.openRow = row
+	lat += skewTCAS // 0 in normal builds; see skew_off.go
 
 	// The data burst needs the shared bus; serialize bursts.
 	burstStart := max(start+lat, c.busUntil)

@@ -1,0 +1,86 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcsquare/internal/memdata"
+)
+
+// TestMapAddrLayout pins the documented [row | bank | column] decomposition
+// for the default DDR4 geometry (16 banks, 8 KB rows) with literal values.
+// The conformance oracles (internal/conformance) and the figure goldens
+// both assume exactly this layout; changing it is a breaking change and
+// must show up here first.
+func TestMapAddrLayout(t *testing.T) {
+	c := NewChannel(DDR4Config())
+	cases := []struct {
+		addr memdata.Addr
+		bank int
+		row  int64
+	}{
+		{0x0000, 0, 0},       // first byte of rowID 0
+		{0x1FFF, 0, 0},       // last byte of rowID 0: same row and bank
+		{0x2000, 1, 0},       // rowID 1: next bank, same physical row
+		{0x2040, 1, 0},       // second cacheline of rowID 1
+		{15 * 0x2000, 15, 0}, // rowID 15: last bank of the first group
+		// rowID 16: row bits fold into the bank hash (16^1 = 17 → bank 1).
+		{16 * 0x2000, 1, 1},
+		// rowID 17 folds to bank 0 (17^1 = 16): the XOR fold permutes
+		// banks within each group rather than repeating 0,1,2,...
+		{17 * 0x2000, 0, 1},
+		{255 * 0x2000, 0, 15}, // 255^15 = 240 → bank 0
+		// rowID 256 folds twice: 256 ^ 16 ^ 1 = 273 → bank 1.
+		{256 * 0x2000, 1, 16},
+	}
+	for _, tc := range cases {
+		bank, row := c.mapAddr(tc.addr)
+		if bank != tc.bank || row != tc.row {
+			t.Errorf("mapAddr(%#x) = (bank %d, row %d), want (bank %d, row %d)",
+				tc.addr, bank, row, tc.bank, tc.row)
+		}
+	}
+}
+
+// TestMapAddrSingleBank covers the Banks=1 degenerate geometry: everything
+// maps to bank 0 and the row is the raw rowID. (The XOR fold must be
+// skipped here — folding by 1 would never terminate.)
+func TestMapAddrSingleBank(t *testing.T) {
+	cfg := DDR4Config()
+	cfg.Banks = 1
+	c := NewChannel(cfg)
+	for _, rowID := range []int64{0, 1, 7, 1 << 20} {
+		bank, row := c.mapAddr(memdata.Addr(rowID) * memdata.Addr(cfg.RowSize))
+		if bank != 0 || row != rowID {
+			t.Errorf("mapAddr(rowID %d) = (bank %d, row %d), want (0, %d)",
+				rowID, bank, row, rowID)
+		}
+	}
+}
+
+// TestMapAddrCollisionFree is the property behind bank-level parallelism
+// for sequential streams: within any aligned group of Banks consecutive
+// rowIDs, the bank indices are a permutation of 0..Banks-1 (the XOR fold
+// only rewires the group, it never doubles up a bank), and the physical
+// row is constant across the group.
+func TestMapAddrCollisionFree(t *testing.T) {
+	prop := func(bankSel uint8, group uint32) bool {
+		cfg := DDR4Config()
+		cfg.Banks = 2 << (bankSel % 5) // 2..32
+		c := NewChannel(cfg)
+		base := uint64(group%(1<<20)) * uint64(cfg.Banks)
+		seen := make(map[int]bool, cfg.Banks)
+		for j := uint64(0); j < uint64(cfg.Banks); j++ {
+			bank, row := c.mapAddr(memdata.Addr((base + j) * cfg.RowSize))
+			if bank < 0 || bank >= cfg.Banks || seen[bank] || row != int64(base/uint64(cfg.Banks)) {
+				return false
+			}
+			seen[bank] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

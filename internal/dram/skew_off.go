@@ -1,0 +1,14 @@
+//go:build !mcsq_skew
+
+package dram
+
+import "mcsquare/internal/sim"
+
+// skewTCAS is the deliberate timing mutation behind the conformance
+// harness's mutation-canary CI step. In normal builds it is the constant 0
+// and the compiler eliminates it from Access entirely. Building with
+// -tags mcsq_skew (skew_on.go) silently lengthens every column access
+// while Config still reports the nominal tCAS — exactly the kind of model
+// drift the closed-form oracles in internal/conformance must detect. CI
+// asserts that the conformance suite FAILS under the skewed build.
+const skewTCAS sim.Cycle = 0

@@ -1,0 +1,11 @@
+//go:build mcsq_skew
+
+package dram
+
+import "mcsquare/internal/sim"
+
+// Mutation-canary build: every column access takes 9 cycles longer than
+// the tCAS the Config reports. See skew_off.go for why this exists. The
+// value is deliberately small — well under any single timing parameter —
+// so only genuinely tight oracles catch it.
+const skewTCAS sim.Cycle = 9

@@ -1,0 +1,76 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScheduleRoundTrip checks that Schedule's JSON form is stable: any
+// JSON that decodes into a Schedule re-encodes to a canonical form that
+// decodes back to the identical value and re-encodes byte-identically.
+// Chaos-run repro lines are shared as JSON (mcsim -chaos, CI artifacts),
+// so a lossy or unstable round trip would silently change which faults a
+// "reproduced" run injects.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	canonical, err := json.Marshal(FromSeed(42))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(canonical)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 7, "dram_corrupt_every": 100}`))
+	f.Add([]byte(`{"seed": 1, "unknown_field": true}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // invalid inputs are out of scope; decoding must just not panic
+		}
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encode of decoded schedule failed: %v", err)
+		}
+		var s2 Schedule
+		if err := json.Unmarshal(enc, &s2); err != nil {
+			t.Fatalf("canonical form does not decode: %v\n%s", err, enc)
+		}
+		if s != s2 {
+			t.Fatalf("round trip changed the schedule:\n first: %+v\nsecond: %+v", s, s2)
+		}
+		enc2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form unstable:\n first: %s\nsecond: %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzFromSeedPure pins that seed→schedule derivation is a pure function
+// and that every derived schedule survives the JSON round trip (it is the
+// repro line printed by chaos runs).
+func FuzzFromSeedPure(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a != b {
+			t.Fatalf("FromSeed(%d) not deterministic", seed)
+		}
+		enc, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Schedule
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != a {
+			t.Fatalf("derived schedule lost in round trip: %+v vs %+v", a, back)
+		}
+	})
+}

@@ -551,6 +551,11 @@ func (c *Controller) PeekLine(a memdata.Addr) []byte {
 	return c.phys.ReadLine(a)
 }
 
+// ResetStats zeroes the controller's counters without touching queue or
+// timing state, mirroring dram.(*Channel).ResetStats. Registry views keep
+// pointing at the same fields, so published metrics reset with them.
+func (c *Controller) ResetStats() { c.Stats = Stats{} }
+
 // Quiesce reports whether the controller has no queued or in-flight work.
 func (c *Controller) Quiesce() bool {
 	return c.rpqUsed == 0 && c.wpqUsed == 0 && c.buffered() == 0 && len(c.inFlightWr) == 0

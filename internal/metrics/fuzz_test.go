@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// decodeSnapshot builds a snapshot from fuzz bytes: each 10-byte record is
+// (name selector, kind-irrelevant pad, 4-byte count, 4-byte value). The
+// name space is deliberately tiny (8 names) so merges constantly collide —
+// the interesting path. A name's kind is derived from the name itself,
+// mirroring the real system where registration fixes a name's kind
+// globally; Merge's documented contract assumes kind-consistent inputs.
+func decodeSnapshot(data []byte) *Snapshot {
+	s := NewSnapshot()
+	for i := 0; i+10 <= len(data); i += 10 {
+		rec := data[i : i+10]
+		name := string(rune('a' + rec[0]%8))
+		kind := Kind(rec[0] % 8 % 3)
+		count := uint64(rec[2]) | uint64(rec[3])<<8 | uint64(rec[4])<<16 | uint64(rec[5])<<24
+		// Small integer-valued floats: exact under summation in any order,
+		// so the associativity law can be checked exactly.
+		value := float64(int8(rec[6])) * float64(rec[7])
+		v := s.Values[name]
+		v.Kind = kind
+		v.Count += count
+		v.Value += value
+		s.Values[name] = v
+	}
+	return s
+}
+
+func cloneSnapshot(s *Snapshot) *Snapshot {
+	c := NewSnapshot()
+	c.Merge(s)
+	return c
+}
+
+func snapshotsEqual(a, b *Snapshot) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for n, av := range a.Values {
+		bv, ok := b.Values[n]
+		if !ok || av.Kind != bv.Kind || av.Count != bv.Count {
+			return false
+		}
+		if math.Abs(av.Value-bv.Value) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSnapshotMerge checks the algebra the figure pipeline and the
+// workload goldens rely on when they fold per-machine registries together:
+// merging is commutative, associative, has the empty snapshot as identity,
+// and the result survives the JSON round trip.
+func FuzzSnapshotMerge(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 0, 0, 3, 4, 0, 0}, []byte{}, []byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 1, 1, 0, 0}, []byte{0, 0, 2, 0, 0, 0, 2, 2, 0, 0}, []byte{8, 0, 3, 0, 0, 0, 3, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, da, db, dc []byte) {
+		a, b, c := decodeSnapshot(da), decodeSnapshot(db), decodeSnapshot(dc)
+
+		// Commutativity: a∪b == b∪a.
+		ab := cloneSnapshot(a)
+		ab.Merge(b)
+		ba := cloneSnapshot(b)
+		ba.Merge(a)
+		if !snapshotsEqual(ab, ba) {
+			t.Fatalf("merge not commutative:\n a∪b %+v\n b∪a %+v", ab.Values, ba.Values)
+		}
+
+		// Associativity: (a∪b)∪c == a∪(b∪c). Counts are exact; the decoded
+		// Values are small integers, so the float sums are exact too.
+		abc1 := cloneSnapshot(ab)
+		abc1.Merge(c)
+		bc := cloneSnapshot(b)
+		bc.Merge(c)
+		abc2 := cloneSnapshot(a)
+		abc2.Merge(bc)
+		if !snapshotsEqual(abc1, abc2) {
+			t.Fatalf("merge not associative:\n (a∪b)∪c %+v\n a∪(b∪c) %+v", abc1.Values, abc2.Values)
+		}
+
+		// Identity: merging the empty snapshot changes nothing.
+		id := cloneSnapshot(abc1)
+		id.Merge(NewSnapshot())
+		if !snapshotsEqual(id, abc1) {
+			t.Fatalf("empty snapshot is not a merge identity")
+		}
+
+		// JSON round trip of the merged result.
+		enc, err := json.Marshal(abc1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Snapshot
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("snapshot JSON does not decode: %v", err)
+		}
+		if !snapshotsEqual(&back, abc1) {
+			t.Fatalf("JSON round trip changed the snapshot:\n%s", enc)
+		}
+	})
+}

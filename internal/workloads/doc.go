@@ -1,0 +1,7 @@
+// Package workloads groups the paper's application workloads (§V): the
+// copy/access microbenchmarks, MongoDB-style document inserts, MVCC
+// version copies, protobuf merges, the KV-store snapshot loop, and the
+// OS-level COW/pipe experiments. The package itself holds only the
+// cross-family smoke tests and their golden metric snapshots; each family
+// lives in its own subpackage.
+package workloads
