@@ -17,6 +17,12 @@
 //	mcfigures -jobs 8              # worker pool size (default: NumCPU)
 //	mcfigures -list                # list available figures
 //	mcfigures -trace t.json        # Chrome/Perfetto transaction trace
+//	mcfigures -config spec.json    # declarative machine spec for every figure
+//	mcfigures -set Channels=4      # spec field overrides (repeatable)
+//
+// Every figure draws its machine from a config.MachineSpec: the built-in
+// default (the paper's Table I machine), patched by the -config file and
+// then by -set Path=value overrides, exactly as in mcsim.
 //
 // -trace enables the transaction tracer in every job's machines and merges
 // the flight recorders into one Chrome trace-event JSON document in job
@@ -43,9 +49,8 @@ import (
 	"strings"
 	"time"
 
-	"mcsquare/internal/faultinject"
+	"mcsquare/internal/cliutil"
 	"mcsquare/internal/figures"
-	"mcsquare/internal/invariant"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
@@ -60,7 +65,9 @@ type figurePlan struct {
 }
 
 func main() {
+	var sets cliutil.StringList
 	var (
+		cfgPath  = flag.String("config", "", "machine spec JSON file (see examples/configs); figures start from it")
 		fig      = flag.String("fig", "", "comma-separated figure ids (e.g. 10,16,table1); empty = all")
 		quick    = flag.Bool("quick", false, "reduced problem sizes (same shapes, much faster)")
 		out      = flag.String("out", "", "directory for figureX.txt files (default: stdout)")
@@ -73,6 +80,7 @@ func main() {
 		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles in every job; violations fail the job")
 		budget   = flag.Uint64("cycle-budget", 0, "fail any job whose simulation exceeds this many cycles (0 = unbounded)")
 	)
+	flag.Var(&sets, "set", "override one spec field (Path=value, e.g. -set Channels=4); repeatable, applied after -config")
 	flag.Parse()
 
 	if *list {
@@ -95,7 +103,12 @@ func main() {
 		}
 	}
 
-	opt := figures.Options{Quick: *quick}
+	spec, err := cliutil.LoadSpec(*cfgPath, sets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
+		os.Exit(1)
+	}
+	opt := figures.Options{Quick: *quick, Spec: spec}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
@@ -103,40 +116,31 @@ func main() {
 		}
 	}
 
-	var fsched *faultinject.Schedule
-	if *faults != "" {
-		s, err := faultinject.ParseSpec(*faults)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfigures: -faults: %v\n", err)
-			os.Exit(1)
-		}
-		fsched = &s
+	fsched, err := cliutil.ParseFaults(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfigures: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	if fsched != nil {
 		if *out != "" {
 			// The reproduction artifact: replaying this file (or the bare
 			// seed) regenerates the exact same fault sequence.
 			p := filepath.Join(*out, "fault_schedule.json")
-			if err := s.WriteJSON(p); err != nil {
+			if err := fsched.WriteJSON(p); err != nil {
 				fmt.Fprintf(os.Stderr, "mcfigures: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
 		}
 	}
-	var icfg invariant.Config
-	if *invar {
-		icfg = invariant.All()
-	}
+	icfg := cliutil.Invariants(*invar)
 
 	// Validate the trace destination before any job runs: an unwritable
 	// path should fail in milliseconds, not after the whole sweep.
-	var traceFile *os.File
-	if *traceOut != "" {
-		f, err := createOutput(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfigures: -trace: %v\n", err)
-			os.Exit(1)
-		}
-		traceFile = f
+	traceFile, err := cliutil.CreateOutput(*traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfigures: -trace: %v\n", err)
+		os.Exit(1)
 	}
 
 	// Decompose every figure into jobs up front, then run the whole batch
@@ -210,7 +214,7 @@ func main() {
 		}
 	}
 	if *statsOut != "" {
-		if err := writeStats(*statsOut, agg); err != nil {
+		if err := cliutil.WriteStats(*statsOut, agg); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -254,15 +258,6 @@ func main() {
 	}
 }
 
-// createOutput opens path for writing ("-" = stdout). Called before the
-// jobs run so an unwritable path fails fast.
-func createOutput(path string) (*os.File, error) {
-	if path == "-" {
-		return os.Stdout, nil
-	}
-	return os.Create(path)
-}
-
 // exportTrace writes the merged trace document and closes the file.
 func exportTrace(f *os.File, path string, tracers []*txtrace.Tracer) error {
 	if err := txtrace.Export(f, tracers); err != nil {
@@ -278,22 +273,6 @@ func exportTrace(f *os.File, path string, tracers []*txtrace.Tracer) error {
 		return fmt.Errorf("-trace %s: %w", path, err)
 	}
 	return nil
-}
-
-// writeStats dumps an aggregated snapshot as JSON to path ("-" = stdout).
-func writeStats(path string, s *metrics.Snapshot) error {
-	if path == "-" {
-		return s.WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return f.Close()
 }
 
 // emit merges one figure's parts and writes it to stdout or its file.

@@ -6,11 +6,19 @@
 //
 //	mcsim -workload protobuf -mech mc2
 //	mcsim -workload mvcc -mech baseline -threads 8 -frac 0.25
-//	mcsim -workload pipe -mech mc2 -size 16384
-//	mcsim -workload hugecow -mech baseline
+//	mcsim -config examples/configs/table1.json    # declarative machine spec
+//	mcsim -config spec.json -set Channels=4       # spec with field overrides
+//	mcsim -config spec.json -validate             # check a spec, print it canonically
 //	mcsim -list                          # enumerate workloads and mechanisms
 //	mcsim -stats out.json                # machine-readable metrics dump
 //	mcsim -trace out.json                # Chrome/Perfetto transaction trace
+//
+// The machine is described by a config.MachineSpec: the built-in default
+// (the paper's Table I machine), optionally patched by a -config JSON file,
+// then by repeatable -set Path=value overrides, in that order. The spec's
+// mechanism block selects the copy mechanism; an explicit -mech flag
+// overrides it. Workload × mechanism compatibility comes from the registry's
+// capability declarations, not a hardcoded table.
 //
 // -stats writes the merged metrics registry of every machine the run
 // built as JSON ("-" for stdout): one object mapping dotted metric names
@@ -37,72 +45,49 @@ import (
 	"os"
 	"strings"
 
+	"mcsquare/internal/cliutil"
+	"mcsquare/internal/config"
 	"mcsquare/internal/copykit"
 	"mcsquare/internal/faultinject"
 	"mcsquare/internal/invariant"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/metrics"
-	"mcsquare/internal/oskern"
 	"mcsquare/internal/stats"
 	"mcsquare/internal/txtrace"
+	"mcsquare/internal/workloads"
 	"mcsquare/internal/workloads/mongo"
 	"mcsquare/internal/workloads/mvcc"
 	"mcsquare/internal/workloads/oswl"
 	"mcsquare/internal/workloads/protobuf"
-	"mcsquare/internal/zio"
 )
 
-// options carries the parsed flags to the workload runners.
+// options carries the resolved spec and flags to the workload runners.
 type options struct {
-	mech    string
+	spec    *config.MachineSpec
+	mech    config.Mechanism
 	threads int
 	frac    float64
 	size    uint64
 	quick   bool
 }
 
-// workload is one runnable entry of the -list table. run executes with
-// the mechanism already validated against mechs.
-type workload struct {
-	name  string
-	mechs []string // supported -mech values
-	note  string   // shown by -list, and on rejected mech combinations
-	run   func(o options)
-}
-
-var workloads = []workload{
-	{
-		name:  "protobuf",
-		mechs: []string{"baseline", "zio", "mc2"},
-		run:   runProtobuf,
-	},
-	{
-		name:  "mongo",
-		mechs: []string{"baseline", "zio", "mc2"},
-		run:   runMongo,
-	},
-	{
-		name:  "mvcc",
-		mechs: []string{"baseline", "mc2"},
-		note:  "no zio: the paper could not run zIO on Cicada (MAP_SHARED); neither do we",
-		run:   runMVCC,
-	},
-	{
-		name:  "pipe",
-		mechs: []string{"baseline", "mc2"},
-		run:   runPipe,
-	},
-	{
-		name:  "hugecow",
-		mechs: []string{"baseline", "mc2"},
-		run:   runHugeCOW,
-	},
+// runners maps catalog workload names to their entry points; the catalog
+// itself (names, notes, supported mechanisms) lives in internal/workloads.
+var runners = map[string]func(o options){
+	"protobuf": runProtobuf,
+	"mongo":    runMongo,
+	"mvcc":     runMVCC,
+	"pipe":     runPipe,
+	"hugecow":  runHugeCOW,
 }
 
 func main() {
+	var sets cliutil.StringList
 	var (
+		cfgPath  = flag.String("config", "", "machine spec JSON file (see examples/configs); flags layer on top")
+		validate = flag.Bool("validate", false, "validate the -config/-set layering, print the canonical spec, and exit")
 		wl       = flag.String("workload", "protobuf", "workload to run (see -list)")
-		mech     = flag.String("mech", "mc2", "copy mechanism (see -list)")
+		mech     = flag.String("mech", "mc2", "copy mechanism (see -list); overrides the spec's mechanism block")
 		threads  = flag.Int("threads", 1, "mvcc: worker threads")
 		frac     = flag.Float64("frac", 0.125, "mvcc: update fraction")
 		size     = flag.Uint64("size", 4096, "pipe: transfer size in bytes")
@@ -114,51 +99,72 @@ func main() {
 		faults   = flag.String("faults", "", "inject a deterministic fault schedule: a seed (e.g. 0xC0FFEE) or a schedule JSON file")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles (shadow memory, liveness watchdog, queue bounds); violations exit non-zero")
 	)
+	flag.Var(&sets, "set", "override one spec field (Path=value, e.g. -set Channels=4); repeatable, applied after -config")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("workload   mechanisms")
-		for _, w := range workloads {
-			fmt.Printf("%-10s %s\n", w.name, strings.Join(w.mechs, ", "))
-			if w.note != "" {
-				fmt.Printf("%-10s   (%s)\n", "", w.note)
-			}
-		}
+		cliutil.PrintWorkloads(os.Stdout)
+		fmt.Println()
+		cliutil.PrintMechanisms(os.Stdout)
 		return
 	}
 
-	w, ok := findWorkload(*wl)
-	if !ok {
-		usageErr("unknown workload %q; available: %s", *wl, strings.Join(workloadNames(), ", "))
+	spec, err := cliutil.LoadSpec(*cfgPath, sets)
+	if err != nil {
+		fatal("%v", err)
 	}
-	if !contains(w.mechs, *mech) {
-		msg := fmt.Sprintf("workload %s does not support -mech %q; supported: %s",
-			w.name, *mech, strings.Join(w.mechs, ", "))
-		if w.note != "" {
-			msg += " (" + w.note + ")"
+
+	// Mechanism precedence: an explicit -mech flag beats the spec's
+	// mechanism block, which beats the default. Switching mechanisms drops
+	// the spec's mechanism params (they belong to the previous mechanism).
+	mechExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mech" {
+			mechExplicit = true
+		}
+	})
+	if mechExplicit && *mech != spec.Mechanism.Name {
+		spec.Mechanism = config.MechanismSpec{Name: *mech}
+	}
+	if err := spec.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	if *validate {
+		out, err := spec.Marshal()
+		if err != nil {
+			fatal("%v", err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	mk, _ := config.LookupMechanism(spec.Mechanism.Name) // Validate checked registration
+	w, ok := workloads.Find(*wl)
+	if !ok {
+		usageErr("unknown workload %q; available: %s", *wl, strings.Join(workloads.Names(), ", "))
+	}
+	if !w.SupportsMechanism(mk.Name) {
+		msg := fmt.Sprintf("workload %s does not support mechanism %q; supported: %s",
+			w.Name, mk.Name, strings.Join(w.Mechanisms(), ", "))
+		if w.Note != "" {
+			msg += " (" + w.Note + ")"
 		}
 		usageErr("%s", msg)
 	}
 
 	// Validate output destinations up front: a simulation should not run
 	// for minutes only to fail writing its result.
-	traceFile, err := createOutput(*traceOut)
+	traceFile, err := cliutil.CreateOutput(*traceOut)
 	if err != nil {
 		fatal("-trace: %v", err)
 	}
 
-	var fsched *faultinject.Schedule
-	if *faults != "" {
-		s, err := faultinject.ParseSpec(*faults)
-		if err != nil {
-			fatal("-faults: %v", err)
-		}
-		fsched = &s
+	fsched, err := cliutil.ParseFaults(*faults)
+	if err != nil {
+		fatal("-faults: %v", err)
 	}
-	var icfg invariant.Config
-	if *invar {
-		icfg = invariant.All()
-	}
+	icfg := cliutil.Invariants(*invar)
 
 	// Collect the registry of every machine the workload builds (some
 	// build theirs internally), so -stats sees the whole run.
@@ -170,7 +176,10 @@ func main() {
 	releaseFaults := fcol.Bind()
 	icol := invariant.NewCollector(icfg)
 	releaseInv := icol.Bind()
-	w.run(options{mech: *mech, threads: *threads, frac: *frac, size: *size, quick: *quick})
+	runners[w.Name](options{
+		spec: spec, mech: mk,
+		threads: *threads, frac: *frac, size: *size, quick: *quick,
+	})
 	release()
 	releaseTrace()
 	releaseFaults()
@@ -197,60 +206,32 @@ func main() {
 		if err := tcol.Export(traceFile); err != nil {
 			fatal("-trace: %v", err)
 		}
-		if err := closeOutput(traceFile); err != nil {
+		if err := cliutil.CloseOutput(traceFile); err != nil {
 			fatal("-trace: %v", err)
 		}
 	}
 	if *statsOut != "" {
-		if err := writeStats(*statsOut, col.Snapshot()); err != nil {
+		if err := cliutil.WriteStats(*statsOut, col.Snapshot()); err != nil {
 			fatal("%v", err)
 		}
 	}
 }
 
-// createOutput opens path for writing ("-" = stdout, "" = none). Called
-// before the simulation runs so an unwritable path fails fast.
-func createOutput(path string) (*os.File, error) {
-	switch path {
-	case "":
-		return nil, nil
-	case "-":
-		return os.Stdout, nil
+// copier builds the spec's mechanism for m through the registry.
+func (o options) copier(m *machine.Machine) copykit.Copier {
+	cp, err := config.BuildCopier(o.spec, m)
+	if err != nil {
+		fatal("%v", err)
 	}
-	return os.Create(path)
+	return cp
 }
 
-func closeOutput(f *os.File) error {
-	if f == os.Stdout {
-		return nil
-	}
-	return f.Close()
-}
-
-func findWorkload(name string) (workload, bool) {
-	for _, w := range workloads {
-		if w.name == name {
-			return w, true
-		}
-	}
-	return workload{}, false
-}
-
-func workloadNames() []string {
-	names := make([]string, len(workloads))
-	for i, w := range workloads {
-		names[i] = w.name
-	}
-	return names
-}
-
-func contains(xs []string, x string) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
+// kernelParams lowers the spec for the OS workloads, which always carry
+// the lazy hardware: the kernel flag, not the machine, decides usage.
+func (o options) kernelParams() machine.Params {
+	p := o.spec.MustParams()
+	p.LazyEnabled = true
+	return p
 }
 
 func runProtobuf(o options) {
@@ -258,11 +239,11 @@ func runProtobuf(o options) {
 	if o.quick {
 		cfg.Ops, cfg.Burst = 192, 64
 	}
-	m := protobuf.NewMachine(o.mech == "mc2", nil)
-	cfg.Copier = copierFor(o.mech, m)
+	m := protobuf.NewMachineFrom(o.spec.MustParams())
+	cfg.Copier = o.copier(m)
 	res := protobuf.Run(m, cfg)
 	fmt.Printf("protobuf/%s: runtime %.3f ms, %d copies (%.1f%% of cycles in memcpy)\n",
-		o.mech, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
+		o.mech.Name, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
 		100*float64(res.CopyCycles)/float64(res.Cycles))
 	printCounters(m.Metrics,
 		"engine.lazy_ops", "engine.bounces", "engine.bounce_writebacks",
@@ -274,34 +255,36 @@ func runMongo(o options) {
 	if o.quick {
 		cfg.Inserts, cfg.Fields, cfg.FieldSize = 8, 4, 32<<10
 	}
-	m := mongo.NewMachine(o.mech == "mc2")
-	cfg.Copier = copierFor(o.mech, m)
+	m := mongo.NewMachineFrom(o.spec.MustParams())
+	cfg.Copier = o.copier(m)
 	res := mongo.Run(m, cfg)
 	fmt.Printf("mongo/%s: average insert latency %.4f ms (p99 %.4f ms)\n",
-		o.mech, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
+		o.mech.Name, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
 }
 
 func runMVCC(o options) {
-	cfg := mvcc.Config{Seed: 42, Threads: o.threads, UpdateFraction: o.frac, Lazy: o.mech == "mc2"}
+	cfg := mvcc.Config{Seed: 42, Threads: o.threads, UpdateFraction: o.frac, Lazy: o.mech.NeedsLazyHW}
 	if o.quick {
 		cfg.Rows, cfg.OpsPerThread = 128, 60
 	}
-	m := mvcc.NewMachine(cfg.Lazy, nil)
+	m := mvcc.NewMachineFrom(o.spec.MustParams())
 	res := mvcc.Run(m, cfg)
 	fmt.Printf("mvcc/%s: %d txns in %.3f ms = %.0f kOps/s (%d threads, %.1f%% updated)\n",
-		o.mech, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
+		o.mech.Name, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
 		o.threads, o.frac*100)
 }
 
 func runPipe(o options) {
+	p := o.kernelParams()
 	tput := oswl.PipeThroughput(oswl.PipeConfig{
-		TransferSize: o.size, Transfers: 48, Lazy: o.mech == "mc2", Seed: 42,
+		TransferSize: o.size, Transfers: 48, Lazy: o.mech.NeedsLazyHW, Seed: 42, Machine: &p,
 	})
-	fmt.Printf("pipe/%s: %d-byte transfers at %.0f bytes/kilocycle\n", o.mech, o.size, tput)
+	fmt.Printf("pipe/%s: %d-byte transfers at %.0f bytes/kilocycle\n", o.mech.Name, o.size, tput)
 }
 
 func runHugeCOW(o options) {
-	cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: o.mech == "mc2"}
+	p := o.kernelParams()
+	cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: o.mech.NeedsLazyHW, Machine: &p}
 	if o.quick {
 		cfg.RegionBytes, cfg.Accesses = 16<<20, 40
 	}
@@ -311,21 +294,7 @@ func runHugeCOW(o options) {
 		h.Add(float64(v))
 	}
 	fmt.Printf("hugecow/%s: %d accesses, latency min %.0f / mean %.0f / max %.0f cycles\n",
-		o.mech, h.N(), h.Min(), h.Mean(), h.Max())
-}
-
-// copierFor builds the copy mechanism for one machine. Mechanism validity
-// was checked in main before the machine was built.
-func copierFor(mech string, m *machine.Machine) copykit.Copier {
-	switch mech {
-	case "baseline":
-		return copykit.Eager{}
-	case "zio":
-		return zio.New(oskern.New(m))
-	case "mc2":
-		return copykit.Lazy{Threshold: 1024}
-	}
-	panic("unreachable: mech validated in main")
+		o.mech.Name, h.N(), h.Min(), h.Mean(), h.Max())
 }
 
 // printCounters prints the named counters that exist in the registry.
@@ -338,22 +307,6 @@ func printCounters(reg *metrics.Registry, names ...string) {
 		}
 	}
 	fmt.Printf("  %s\n", strings.Join(parts, " "))
-}
-
-// writeStats dumps a snapshot as JSON to path ("-" = stdout).
-func writeStats(path string, s *metrics.Snapshot) error {
-	if path == "-" {
-		return s.WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return f.Close()
 }
 
 func usageErr(format string, args ...interface{}) {

@@ -1,0 +1,315 @@
+// Package config is the declarative, composable description of a simulated
+// machine: a versioned JSON-serializable MachineSpec naming every component
+// block (cores, memory, channels, cache, CPU, memory controller, DRAM
+// timing, lazy-copy engine) plus a mechanism block selecting which copy
+// mechanism runs, validated with structured errors and lowered to
+// machine.Params. A registry maps mechanism names to factories
+// (name → func(spec, *machine.Machine) copykit.Copier) so new backends are
+// registry entries, not switch-statement edits — the Ramulator 2.x
+// "composable simulator" pattern.
+//
+// Specs are strict: unknown JSON fields are rejected, bad values come back
+// as *ValidationError carrying one *FieldError per offending dotted path.
+// A spec file may be partial — Parse overlays it on Default(), so a config
+// that only says {"Channels": 4} inherits the paper's Table I everywhere
+// else. Overrides (dotted path = value pairs, the -set flag and the figure
+// sweep axes) layer on top of the parsed spec in order.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcsquare/internal/cache"
+	"mcsquare/internal/core"
+	"mcsquare/internal/cpu"
+	"mcsquare/internal/dram"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/memctrl"
+	"mcsquare/internal/memdata"
+)
+
+// SpecVersion is the current MachineSpec schema version. Parse accepts
+// exactly this version (a spec that omits Version inherits it).
+const SpecVersion = 1
+
+// MachineSpec is the declarative form of machine.Params plus a mechanism
+// selection. Field names are the JSON names; component blocks reuse the
+// component packages' own config structs, so the schema cannot drift from
+// the simulator.
+type MachineSpec struct {
+	// Version pins the schema; see SpecVersion.
+	Version int
+	// Cores is the CPU count. Cache.Cores must be 0 (inherit) or equal.
+	Cores int
+	// MemSize is the bytes of physical memory to model.
+	MemSize uint64
+	// Channels is the DRAM channel / memory-controller count (power of two).
+	Channels int
+	// XConBytesPerCycle caps cache-to-controller interconnect bandwidth;
+	// 0 models a latency-only link.
+	XConBytesPerCycle float64 `json:",omitempty"`
+
+	MC    memctrl.Config
+	DRAM  dram.Config
+	Cache cache.Config
+	CPU   cpu.Config
+	Lazy  core.Params
+
+	// Mechanism selects the copy mechanism built for the machine and
+	// decides whether the (MC)² hardware is installed.
+	Mechanism MechanismSpec
+}
+
+// MechanismSpec is the mechanism block of a spec: a registered name plus an
+// opaque parameter payload the mechanism's registry entry decodes itself.
+type MechanismSpec struct {
+	// Name selects a registered mechanism; Mechanisms() lists them.
+	Name string
+	// Params is the mechanism's own parameter block (e.g. the mc2
+	// interposer threshold); omit for the mechanism's defaults.
+	Params json.RawMessage `json:",omitempty"`
+}
+
+// Default returns the paper's Table I machine with the mc2 mechanism —
+// the spec form of machine.DefaultParams().
+func Default() MachineSpec {
+	p := machine.DefaultParams()
+	return MachineSpec{
+		Version:   SpecVersion,
+		Cores:     p.Cores,
+		MemSize:   p.MemSize,
+		Channels:  p.Channels,
+		MC:        p.MC,
+		DRAM:      p.DRAM,
+		Cache:     p.Cache,
+		CPU:       p.CPU,
+		Lazy:      p.Lazy,
+		Mechanism: MechanismSpec{Name: "mc2"},
+	}
+}
+
+// FieldError is one invalid field: a dotted path into the spec plus what
+// is wrong with it.
+type FieldError struct {
+	Path string
+	Msg  string
+}
+
+func (e *FieldError) Error() string { return e.Path + ": " + e.Msg }
+
+// ValidationError aggregates every invalid field of a spec, in field order.
+type ValidationError struct {
+	Fields []*FieldError
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return fmt.Sprintf("invalid machine spec: %s", strings.Join(msgs, "; "))
+}
+
+type validator struct{ errs []*FieldError }
+
+func (v *validator) errf(path, format string, args ...interface{}) {
+	v.errs = append(v.errs, &FieldError{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Validate checks the spec and returns nil or a *ValidationError listing
+// every offending field. It is what machine.New's last-resort panics
+// (channel count, cache/core mismatch) look like when configuration goes
+// through specs instead of hand-built Params.
+func (s MachineSpec) Validate() error {
+	v := &validator{}
+	if s.Version != SpecVersion {
+		v.errf("Version", "unsupported spec version %d (this build reads version %d)", s.Version, SpecVersion)
+	}
+	if s.Cores < 1 {
+		v.errf("Cores", "must be at least 1, have %d", s.Cores)
+	}
+	if s.MemSize < 2*memdata.PageSize {
+		v.errf("MemSize", "must be at least two pages (%d bytes), have %d", 2*memdata.PageSize, s.MemSize)
+	}
+	if s.Channels < 1 || s.Channels&(s.Channels-1) != 0 {
+		v.errf("Channels", "channel count %d must be a power of two", s.Channels)
+	}
+	if s.XConBytesPerCycle < 0 {
+		v.errf("XConBytesPerCycle", "must not be negative, have %g", s.XConBytesPerCycle)
+	}
+
+	if s.MC.RPQCapacity < 1 {
+		v.errf("MC.RPQCapacity", "must be at least 1, have %d", s.MC.RPQCapacity)
+	}
+	if s.MC.WPQCapacity < 1 {
+		v.errf("MC.WPQCapacity", "must be at least 1, have %d", s.MC.WPQCapacity)
+	}
+	if s.MC.DrainLow < 0 || s.MC.DrainHigh < s.MC.DrainLow || s.MC.DrainHigh > s.MC.WPQCapacity {
+		v.errf("MC.DrainHigh", "drain watermarks must satisfy 0 <= DrainLow (%d) <= DrainHigh (%d) <= WPQCapacity (%d)",
+			s.MC.DrainLow, s.MC.DrainHigh, s.MC.WPQCapacity)
+	}
+
+	if s.DRAM.Banks < 1 {
+		v.errf("DRAM.Banks", "must be at least 1, have %d", s.DRAM.Banks)
+	}
+	if s.DRAM.RowSize < memdata.LineSize || s.DRAM.RowSize%memdata.LineSize != 0 {
+		v.errf("DRAM.RowSize", "must be a multiple of the %d-byte cacheline, have %d", memdata.LineSize, s.DRAM.RowSize)
+	}
+	if s.DRAM.TBL < 1 {
+		v.errf("DRAM.TBL", "burst length must be at least 1 cycle, have %d", s.DRAM.TBL)
+	}
+
+	if s.Cache.Cores != 0 && s.Cache.Cores != s.Cores {
+		v.errf("Cache.Cores", "cache geometry is built for %d cores but the machine has %d (set to 0 to inherit Cores)",
+			s.Cache.Cores, s.Cores)
+	}
+	if s.Cache.L1Size < memdata.LineSize {
+		v.errf("Cache.L1Size", "must hold at least one %d-byte line, have %d", memdata.LineSize, s.Cache.L1Size)
+	}
+	if s.Cache.L2Size < memdata.LineSize {
+		v.errf("Cache.L2Size", "must hold at least one %d-byte line, have %d", memdata.LineSize, s.Cache.L2Size)
+	}
+	if s.Cache.L1Ways < 1 {
+		v.errf("Cache.L1Ways", "must be at least 1, have %d", s.Cache.L1Ways)
+	}
+	if s.Cache.L2Ways < 1 {
+		v.errf("Cache.L2Ways", "must be at least 1, have %d", s.Cache.L2Ways)
+	}
+	if s.Cache.MSHRsPerCore < 1 {
+		v.errf("Cache.MSHRsPerCore", "must be at least 1, have %d", s.Cache.MSHRsPerCore)
+	}
+
+	if s.CPU.WindowSize < 1 {
+		v.errf("CPU.WindowSize", "must be at least 1, have %d", s.CPU.WindowSize)
+	}
+
+	if s.Lazy.CTTCapacity < 1 {
+		v.errf("Lazy.CTTCapacity", "must be at least 1, have %d", s.Lazy.CTTCapacity)
+	}
+	if s.Lazy.BPQCapacity < 1 {
+		v.errf("Lazy.BPQCapacity", "must be at least 1, have %d", s.Lazy.BPQCapacity)
+	}
+	if s.Lazy.FreeThreshold <= 0 || s.Lazy.FreeThreshold > 1 {
+		v.errf("Lazy.FreeThreshold", "must be in (0, 1], have %g", s.Lazy.FreeThreshold)
+	}
+	if s.Lazy.ParallelFrees < 1 {
+		v.errf("Lazy.ParallelFrees", "must be at least 1, have %d", s.Lazy.ParallelFrees)
+	}
+	if s.Lazy.WPQRejectFrac <= 0 || s.Lazy.WPQRejectFrac > 1 {
+		v.errf("Lazy.WPQRejectFrac", "must be in (0, 1], have %g", s.Lazy.WPQRejectFrac)
+	}
+	if s.Lazy.EagerCopyFrac < 0 || s.Lazy.EagerCopyFrac > 1 {
+		v.errf("Lazy.EagerCopyFrac", "must be in [0, 1], have %g", s.Lazy.EagerCopyFrac)
+	}
+
+	if s.Mechanism.Name == "" {
+		v.errf("Mechanism.Name", "missing; registered mechanisms: %s", strings.Join(MechanismNames(), ", "))
+	} else if mech, ok := LookupMechanism(s.Mechanism.Name); !ok {
+		v.errf("Mechanism.Name", "unknown mechanism %q; registered: %s", s.Mechanism.Name, strings.Join(MechanismNames(), ", "))
+	} else if mech.ValidateParams != nil {
+		if err := mech.ValidateParams(s.Mechanism.Params); err != nil {
+			v.errf("Mechanism.Params", "%v", err)
+		}
+	}
+
+	if len(v.errs) > 0 {
+		return &ValidationError{Fields: v.errs}
+	}
+	return nil
+}
+
+// Params validates the spec and lowers it to machine.Params. The
+// mechanism's registry entry decides LazyEnabled (whether the (MC)²
+// hardware is installed), and an inherited Cache.Cores of 0 is resolved to
+// Cores here.
+func (s MachineSpec) Params() (machine.Params, error) {
+	if err := s.Validate(); err != nil {
+		return machine.Params{}, err
+	}
+	mech, _ := LookupMechanism(s.Mechanism.Name)
+	p := machine.Params{
+		Cores:             s.Cores,
+		MemSize:           s.MemSize,
+		Channels:          s.Channels,
+		MC:                s.MC,
+		DRAM:              s.DRAM,
+		Cache:             s.Cache,
+		CPU:               s.CPU,
+		Lazy:              s.Lazy,
+		XConBytesPerCycle: s.XConBytesPerCycle,
+		LazyEnabled:       mech.NeedsLazyHW,
+	}
+	p.Cache.Cores = s.Cores
+	return p, nil
+}
+
+// MustParams is Params for specs the caller has already validated (figure
+// sweeps, tests); it panics on error.
+func (s MachineSpec) MustParams() machine.Params {
+	p, err := s.Params()
+	if err != nil {
+		panic(fmt.Sprintf("config: %v", err))
+	}
+	return p
+}
+
+// Marshal renders the spec as indented JSON with a trailing newline —
+// the canonical byte form: Marshal ∘ Parse ∘ Marshal is the identity.
+func (s MachineSpec) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse decodes a spec strictly (unknown fields are errors), overlaying
+// the document on Default() so partial specs inherit the paper's Table I.
+// The result is not yet validated; callers decide when (after overrides).
+func Parse(data []byte) (MachineSpec, error) {
+	s := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return MachineSpec{}, fmt.Errorf("machine spec: %w", err)
+	}
+	if dec.More() {
+		return MachineSpec{}, fmt.Errorf("machine spec: trailing data after JSON document")
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (MachineSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return MachineSpec{}, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return MachineSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// DecodeMechParams strictly decodes a mechanism parameter block into the
+// mechanism's own params struct; empty blocks leave defaults untouched.
+// Registry entries use it from both Build and ValidateParams.
+func DecodeMechParams(raw json.RawMessage, into interface{}) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after parameter block")
+	}
+	return nil
+}

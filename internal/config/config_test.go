@@ -1,0 +1,213 @@
+package config
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcsquare/internal/machine"
+)
+
+// TestDefaultLowersToDefaultParams pins the migration contract: the default
+// spec is machine.DefaultParams() in declarative form, byte for byte.
+func TestDefaultLowersToDefaultParams(t *testing.T) {
+	p, err := Default().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := machine.DefaultParams(); !reflect.DeepEqual(p, want) {
+		t.Fatalf("Default() lowering diverges from machine.DefaultParams():\n got %+v\nwant %+v", p, want)
+	}
+}
+
+// TestMarshalStability pins the byte-stable round trip:
+// Marshal ∘ Parse ∘ Marshal is the identity.
+func TestMarshalStability(t *testing.T) {
+	spec := Default()
+	first, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := reparsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("marshal not stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Fatal("canonical spec does not end in a newline")
+	}
+}
+
+// TestExampleConfigsCurrent pins the committed example specs: table1.json
+// is exactly the canonical default, and every example validates.
+func TestExampleConfigsCurrent(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "configs")
+	want, err := Default().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "table1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("examples/configs/table1.json is stale; regenerate it from config.Default().Marshal()")
+	}
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("expected at least 2 example configs, got %v (err %v)", entries, err)
+	}
+	for _, path := range entries {
+		spec, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
+
+// TestPartialSpecOverlaysDefault: a spec naming one field inherits Table I
+// everywhere else.
+func TestPartialSpecOverlaysDefault(t *testing.T) {
+	spec, err := Parse([]byte(`{"Channels": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Channels != 4 {
+		t.Fatalf("Channels = %d, want 4", spec.Channels)
+	}
+	def := Default()
+	if spec.Cores != def.Cores || spec.MemSize != def.MemSize || spec.Mechanism.Name != "mc2" {
+		t.Fatalf("partial spec did not inherit defaults: %+v", spec)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	if _, err := Parse([]byte(`{"Chanels": 4}`)); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+	if _, err := Parse([]byte(`{"Channels": 2} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+// TestValidateStructuredErrors: bad values come back as one *FieldError per
+// offending dotted path, all at once.
+func TestValidateStructuredErrors(t *testing.T) {
+	spec := Default()
+	spec.Cores = 0
+	spec.Channels = 3
+	spec.Lazy.FreeThreshold = 2
+	spec.Mechanism.Name = "no-such-mechanism"
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("invalid spec validated")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is %T, want *ValidationError", err)
+	}
+	paths := make(map[string]bool)
+	for _, f := range verr.Fields {
+		paths[f.Path] = true
+	}
+	for _, want := range []string{"Cores", "Channels", "Lazy.FreeThreshold", "Mechanism.Name"} {
+		if !paths[want] {
+			t.Errorf("no FieldError for %s (got %v)", want, verr.Fields)
+		}
+	}
+}
+
+// TestValidateChannelAndCacheGeometry pins the conditions machine.New used
+// to catch by panic (channel count) or repair silently (Cache.Cores).
+func TestValidateChannelAndCacheGeometry(t *testing.T) {
+	spec := Default()
+	spec.Channels = 6
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("non-power-of-two channels: err = %v", err)
+	}
+
+	spec = Default()
+	spec.Cores = 4 // Cache.Cores still 8 from the default block
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Cache.Cores") {
+		t.Fatalf("mismatched cache geometry: err = %v", err)
+	}
+
+	spec.Cache.Cores = 0 // explicit inherit
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("inheriting cache geometry rejected: %v", err)
+	}
+	p := spec.MustParams()
+	if p.Cache.Cores != 4 {
+		t.Fatalf("lowering did not adopt core count: Cache.Cores = %d", p.Cache.Cores)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	spec := Default()
+	ovs := Overrides{
+		{Path: "Channels", Value: 4},
+		{Path: "Lazy.FreeThreshold", Value: 0.75},
+		{Path: "Cache.L2Size", Value: "1048576"},
+		{Path: "Lazy.DisableMerge", Value: "true"},
+	}
+	if err := spec.Apply(ovs); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Channels != 4 || spec.Lazy.FreeThreshold != 0.75 ||
+		spec.Cache.L2Size != 1<<20 || !spec.Lazy.DisableMerge {
+		t.Fatalf("overrides not applied: %+v", spec)
+	}
+
+	if err := spec.Apply(Overrides{{Path: "No.Such.Field", Value: 1}}); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := spec.Apply(Overrides{{Path: "Cores", Value: "not-a-number"}}); err == nil {
+		t.Fatal("unparseable value accepted")
+	}
+
+	ov, err := ParseAssignment("MC.WPQCapacity=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Apply(Overrides{ov}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.MC.WPQCapacity != 128 {
+		t.Fatalf("WPQCapacity = %d", spec.MC.WPQCapacity)
+	}
+	if _, err := ParseAssignment("no-equals-sign"); err == nil {
+		t.Fatal("assignment without '=' accepted")
+	}
+}
+
+func TestMechanismParamsValidated(t *testing.T) {
+	spec := Default()
+	spec.Mechanism = MechanismSpec{Name: "mc2", Params: []byte(`{"Threshold": 4096}`)}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid mc2 params rejected: %v", err)
+	}
+	spec.Mechanism.Params = []byte(`{"Treshold": 1}`)
+	if err := spec.Validate(); err == nil {
+		t.Fatal("misspelled mechanism param accepted")
+	}
+	spec.Mechanism = MechanismSpec{Name: "baseline", Params: []byte(`{"Threshold": 1}`)}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("params on a parameterless mechanism accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package config
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Override assigns one spec field, addressed by its dotted JSON path
+// (e.g. "Lazy.CTTCapacity" or "DRAM.TBL"). Value may be a typed Go value
+// (figure sweep axes) or a string to be parsed against the field's kind
+// (the CLIs' -set flag).
+type Override struct {
+	Path  string
+	Value interface{}
+}
+
+// Overrides is an ordered override list; later entries win.
+type Overrides []Override
+
+// ParseAssignment splits a "Path=value" CLI argument into an Override.
+func ParseAssignment(arg string) (Override, error) {
+	path, val, ok := strings.Cut(arg, "=")
+	if !ok || path == "" {
+		return Override{}, fmt.Errorf("override %q: want Path=value (e.g. Lazy.CTTCapacity=4096)", arg)
+	}
+	return Override{Path: path, Value: val}, nil
+}
+
+// Apply sets each override on the spec in order. Unknown paths and
+// unconvertible values come back as *FieldError.
+func (s *MachineSpec) Apply(ovs Overrides) error {
+	for _, ov := range ovs {
+		if err := s.apply(ov); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *MachineSpec) apply(ov Override) error {
+	field := reflect.ValueOf(s).Elem()
+	for _, name := range strings.Split(ov.Path, ".") {
+		if field.Kind() != reflect.Struct {
+			return &FieldError{Path: ov.Path, Msg: "path descends into a non-struct field"}
+		}
+		next := field.FieldByName(name)
+		if !next.IsValid() {
+			return &FieldError{Path: ov.Path, Msg: fmt.Sprintf("no field %q (fields are spelled as in the JSON spec, e.g. Lazy.CTTCapacity)", name)}
+		}
+		field = next
+	}
+	return setValue(ov.Path, field, ov.Value)
+}
+
+func setValue(path string, field reflect.Value, value interface{}) error {
+	if !field.CanSet() {
+		return &FieldError{Path: path, Msg: "field cannot be set"}
+	}
+	if str, ok := value.(string); ok && field.Kind() != reflect.String {
+		return setFromString(path, field, str)
+	}
+	rv := reflect.ValueOf(value)
+	if !rv.IsValid() {
+		return &FieldError{Path: path, Msg: "no value"}
+	}
+	if rv.Type() == field.Type() {
+		field.Set(rv)
+		return nil
+	}
+	if rv.Type().ConvertibleTo(field.Type()) && isScalar(rv.Kind()) && isScalar(field.Kind()) {
+		field.Set(rv.Convert(field.Type()))
+		return nil
+	}
+	return &FieldError{Path: path, Msg: fmt.Sprintf("cannot assign %T to %s field", value, field.Type())}
+}
+
+func isScalar(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+func setFromString(path string, field reflect.Value, str string) error {
+	switch field.Kind() {
+	case reflect.Bool:
+		b, err := strconv.ParseBool(str)
+		if err != nil {
+			return &FieldError{Path: path, Msg: fmt.Sprintf("%q is not a bool", str)}
+		}
+		field.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := strconv.ParseInt(str, 0, 64)
+		if err != nil || field.OverflowInt(n) {
+			return &FieldError{Path: path, Msg: fmt.Sprintf("%q is not a valid %s", str, field.Type())}
+		}
+		field.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := strconv.ParseUint(str, 0, 64)
+		if err != nil || field.OverflowUint(n) {
+			return &FieldError{Path: path, Msg: fmt.Sprintf("%q is not a valid %s", str, field.Type())}
+		}
+		field.SetUint(n)
+	case reflect.Float32, reflect.Float64:
+		f, err := strconv.ParseFloat(str, 64)
+		if err != nil {
+			return &FieldError{Path: path, Msg: fmt.Sprintf("%q is not a valid %s", str, field.Type())}
+		}
+		field.SetFloat(f)
+	default:
+		return &FieldError{Path: path, Msg: fmt.Sprintf("unsupported field type %s", field.Type())}
+	}
+	return nil
+}

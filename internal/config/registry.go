@@ -1,0 +1,148 @@
+package config
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/machine"
+)
+
+// Capability is a property a workload may require of its copy mechanism.
+// Mechanisms declare the capabilities they have; workload catalog entries
+// (internal/workloads) declare the capabilities they need, and the
+// supported-mechanism sets the CLIs used to hardcode are computed from the
+// two — a new mechanism that declares the right capabilities shows up in
+// every workload's -list row with no CLI edits.
+type Capability string
+
+const (
+	// CapCopier: the mechanism provides a user-level copykit.Copier that
+	// workloads drive through memcpy interposition (protobuf, mongo).
+	CapCopier Capability = "copier"
+	// CapKernel: the mechanism is meaningful for kernel-level workloads
+	// (pipes, COW faults, MVCC's in-kernel lazy path) that bypass the user
+	// library and talk to the machine's lazy hardware directly.
+	CapKernel Capability = "kernel"
+	// CapSharedMem: the mechanism works on MAP_SHARED memory. zIO does
+	// not — the paper could not run zIO on Cicada, and neither do we.
+	CapSharedMem Capability = "shared-memory"
+)
+
+// Mechanism is one registry entry: a named copy-mechanism backend behind
+// the common factory interface. New backends (a DMA engine, a CXL tier)
+// register themselves from their own package's init and become available
+// to every spec, CLI, and sweep without switch-statement edits.
+type Mechanism struct {
+	// Name is the spec's Mechanism.Name key.
+	Name string
+	// Summary is one line for -list output.
+	Summary string
+	// NeedsLazyHW: machines built for this mechanism install the (MC)²
+	// engine (machine.Params.LazyEnabled).
+	NeedsLazyHW bool
+	// Caps are the capability declarations workload support is computed
+	// from.
+	Caps []Capability
+	// Note, when set, explains a capability gap in -list output and
+	// rejection messages.
+	Note string
+	// ValidateParams, when set, strictly checks a spec's mechanism
+	// parameter block (DecodeMechParams into the mechanism's params
+	// struct) without building anything.
+	ValidateParams func(raw json.RawMessage) error
+	// Build constructs the mechanism for a machine lowered from spec.
+	Build func(spec *MachineSpec, m *machine.Machine) (copykit.Copier, error)
+}
+
+// Supports reports whether the mechanism has every needed capability.
+func (m Mechanism) Supports(needs []Capability) bool {
+	for _, n := range needs {
+		found := false
+		for _, c := range m.Caps {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	regMu sync.RWMutex
+	reg   = map[string]Mechanism{}
+)
+
+// Register adds a mechanism to the registry. It panics on a duplicate or
+// incomplete entry — registration runs from package inits, where a bad
+// entry is a programming error.
+func Register(m Mechanism) {
+	if m.Name == "" || m.Build == nil {
+		panic("config: Register needs a Name and a Build factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[m.Name]; dup {
+		panic("config: duplicate mechanism " + m.Name)
+	}
+	reg[m.Name] = m
+}
+
+// LookupMechanism returns the registry entry for a name.
+func LookupMechanism(name string) (Mechanism, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := reg[name]
+	return m, ok
+}
+
+// Mechanisms returns every registered mechanism, sorted by name for
+// deterministic enumeration.
+func Mechanisms() []Mechanism {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Mechanism, 0, len(reg))
+	for _, m := range reg {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MechanismNames returns the sorted registered names.
+func MechanismNames() []string {
+	mechs := Mechanisms()
+	names := make([]string, len(mechs))
+	for i, m := range mechs {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// MechanismsFor returns the sorted names of mechanisms supporting every
+// needed capability — the computed form of the per-workload mechanism
+// lists the CLIs used to hardcode.
+func MechanismsFor(needs []Capability) []string {
+	var names []string
+	for _, m := range Mechanisms() {
+		if m.Supports(needs) {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
+
+// BuildCopier validates the spec's mechanism block and constructs the
+// mechanism for a machine already lowered from the same spec.
+func BuildCopier(spec *MachineSpec, m *machine.Machine) (copykit.Copier, error) {
+	mech, ok := LookupMechanism(spec.Mechanism.Name)
+	if !ok {
+		return nil, &FieldError{Path: "Mechanism.Name", Msg: "unknown mechanism " + spec.Mechanism.Name}
+	}
+	return mech.Build(spec, m)
+}

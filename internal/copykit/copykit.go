@@ -82,3 +82,30 @@ func (Lazy) Write(c *cpu.Core, a memdata.Addr, data []byte) { c.Store(a, data) }
 
 // Free implements Copier with MCFREE.
 func (Lazy) Free(c *cpu.Core, r memdata.Range) { softmc.Free(c, r) }
+
+// SoftMC is memcpy_lazy unconditionally: the raw §III-D library with no
+// interposer policy on top, so even sub-line calls take the lazy path's
+// alignment fringes. The mc2 mechanism is SoftMC plus the 1 KB threshold;
+// keeping the raw library as its own mechanism isolates the library from
+// the policy in comparisons.
+type SoftMC struct{}
+
+// Name implements Copier.
+func (SoftMC) Name() string { return "softmc" }
+
+// Memcpy implements Copier.
+func (SoftMC) Memcpy(c *cpu.Core, dst, src memdata.Addr, n uint64) {
+	softmc.MemcpyLazy(c, dst, src, n)
+}
+
+// Read implements Copier.
+func (SoftMC) Read(c *cpu.Core, a memdata.Addr, n uint64) []byte { return c.Load(a, n) }
+
+// ReadAsync implements Copier.
+func (SoftMC) ReadAsync(c *cpu.Core, a memdata.Addr, n uint64) { c.LoadAsync(a, n) }
+
+// Write implements Copier.
+func (SoftMC) Write(c *cpu.Core, a memdata.Addr, data []byte) { c.Store(a, data) }
+
+// Free implements Copier with MCFREE.
+func (SoftMC) Free(c *cpu.Core, r memdata.Range) { softmc.Free(c, r) }

@@ -25,10 +25,10 @@ func init() {
 // ablMergeVariant runs the CTT adjacency-merging ablation for one variant
 // (§III-A1: per-element lazy copies of contiguous cachelines, on a CTT
 // smaller than the element count) and returns its one-row table.
-func ablMergeVariant(disable bool) *stats.Table {
+func ablMergeVariant(o Options, disable bool) *stats.Table {
 	tb := stats.NewTable("Ablation: CTT adjacency merging (element-wise array copy, 512-entry CTT)",
 		"variant", "cycles", "ctt_highwater", "entries_created")
-	p := machine.DefaultParams()
+	p := o.hwParams()
 	p.Lazy.CTTCapacity = 512
 	p.Lazy.DisableMerge = disable
 	m := machine.New(p)
@@ -60,7 +60,7 @@ func ablMergeVariant(disable bool) *stats.Table {
 func ablThresholdPoint(o Options, th uint64) *stats.Table {
 	tb := stats.NewTable("Ablation: interposer threshold (Protobuf runtime, ms)",
 		"threshold", "runtime_ms")
-	res := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: th}))
+	res := protobuf.Run(protobuf.NewMachineFrom(o.params("mc2")), o.protoCfg(copykit.Lazy{Threshold: th}))
 	tb.AddRow(th, stats.CyclesToMs(uint64(res.Cycles)))
 	return tb
 }
@@ -75,7 +75,7 @@ func ablFlushVariant(o Options, wrapper bool) *stats.Table {
 	if o.Quick {
 		size = 256 << 10
 	}
-	p := machine.DefaultParams()
+	p := o.hwParams()
 	p.MemSize = 512 << 20
 	m := machine.New(p)
 	src := m.Alloc(size, size)
@@ -117,8 +117,8 @@ func Ablations(o Options) []*stats.Table { return runJobSet(o, ablationsJobs(o))
 
 func ablationsJobs(o Options) JobSet {
 	jobs := []runner.Job{
-		job("ablations/merge_on", func() []*stats.Table { return tables(ablMergeVariant(false)) }),
-		job("ablations/merge_off", func() []*stats.Table { return tables(ablMergeVariant(true)) }),
+		job("ablations/merge_on", func() []*stats.Table { return tables(ablMergeVariant(o, false)) }),
+		job("ablations/merge_off", func() []*stats.Table { return tables(ablMergeVariant(o, true)) }),
 	}
 	for _, th := range ablThresholds() {
 		th := th
@@ -150,9 +150,7 @@ func Pollution(o Options) []*stats.Table {
 	copySize := uint64(1536 << 10)
 	for _, lazy := range []bool{false, true} {
 		lazy := lazy
-		p := machine.DefaultParams()
-		p.LazyEnabled = true
-		m := machine.New(p)
+		m := machine.New(o.hwParams())
 		ws := m.AllocPage(wsSize)
 		src := m.AllocPage(copySize)
 		dst := m.AllocPage(copySize)
@@ -198,11 +196,10 @@ func Scaling(o Options) []*stats.Table {
 	chans := stats.NewTable("Scaling: MVCC 8-thread throughput (kOps/s) vs DRAM channels",
 		"channels", "baseline", "mc2")
 	for _, ch := range []int{1, 2, 4} {
-		ch := ch
-		base := mvcc.Run(mvcc.NewMachine(false, func(p *machine.Params) { p.Channels = ch }),
-			o.mvccCfg(false, 0.125, mvcc.RMW, 8))
-		lazy := mvcc.Run(mvcc.NewMachine(true, func(p *machine.Params) { p.Channels = ch }),
-			o.mvccCfg(true, 0.125, mvcc.RMW, 8))
+		bp, lp := o.params("baseline"), o.params("mc2")
+		bp.Channels, lp.Channels = ch, ch
+		base := mvcc.Run(mvcc.NewMachineFrom(bp), o.mvccCfg(false, 0.125, mvcc.RMW, 8))
+		lazy := mvcc.Run(mvcc.NewMachineFrom(lp), o.mvccCfg(true, 0.125, mvcc.RMW, 8))
 		chans.AddRow(ch, base.ThroughputKOps(), lazy.ThroughputKOps())
 	}
 
@@ -214,10 +211,10 @@ func Scaling(o Options) []*stats.Table {
 		if bw > 0 {
 			label = fmt.Sprintf("%.0f", bw)
 		}
-		base := mvcc.Run(mvcc.NewMachine(false, func(p *machine.Params) { p.XConBytesPerCycle = bw }),
-			o.mvccCfg(false, 0.125, mvcc.RMW, 8))
-		lazy := mvcc.Run(mvcc.NewMachine(true, func(p *machine.Params) { p.XConBytesPerCycle = bw }),
-			o.mvccCfg(true, 0.125, mvcc.RMW, 8))
+		bp, lp := o.params("baseline"), o.params("mc2")
+		bp.XConBytesPerCycle, lp.XConBytesPerCycle = bw, bw
+		base := mvcc.Run(mvcc.NewMachineFrom(bp), o.mvccCfg(false, 0.125, mvcc.RMW, 8))
+		lazy := mvcc.Run(mvcc.NewMachineFrom(lp), o.mvccCfg(true, 0.125, mvcc.RMW, 8))
 		xcon.AddRow(label, base.ThroughputKOps(), lazy.ThroughputKOps())
 	}
 	return []*stats.Table{chans, xcon}
@@ -231,7 +228,8 @@ func init() {
 // KVSnap runs the Redis-style snapshotting store: write latency percentiles
 // with the native and the (MC)² kernel, huge pages throughout.
 func KVSnap(o Options) []*stats.Table {
-	cfg := kvsnap.Config{Seed: 42}
+	p := o.hwParams()
+	cfg := kvsnap.Config{Seed: 42, Machine: &p}
 	if o.Quick {
 		cfg.StoreBytes, cfg.Ops, cfg.SnapshotEach = 8<<20, 60, 30
 	}

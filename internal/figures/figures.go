@@ -2,11 +2,18 @@
 // evaluation (§II and §V) as tab-separated tables, mirroring the artifact's
 // results/figureX.txt outputs. cmd/mcfigures and the root benchmark suite
 // are thin wrappers around this package.
+//
+// Every figure draws its machine from a config.MachineSpec (Options.Spec;
+// nil means config.Default(), which lowers to machine.DefaultParams()) and
+// builds copy mechanisms through the config registry. Sweep figures are
+// declared as SweepSpecs (see sweep.go) — axes of labelled spec overrides
+// compiled onto the JobSet machinery.
 package figures
 
 import (
 	"fmt"
 
+	"mcsquare/internal/config"
 	"mcsquare/internal/copykit"
 	"mcsquare/internal/cpu"
 	"mcsquare/internal/machine"
@@ -21,20 +28,57 @@ import (
 	"mcsquare/internal/workloads/mvcc"
 	"mcsquare/internal/workloads/oswl"
 	"mcsquare/internal/workloads/protobuf"
-	"mcsquare/internal/zio"
+
+	// The zio mechanism registers itself with the config registry; figures
+	// build it by name only.
+	_ "mcsquare/internal/zio"
 )
 
 // Options scales the experiments. Quick mode shrinks buffers and operation
 // counts so the full set completes in minutes; the shapes survive scaling.
 type Options struct {
 	Quick bool
+	// Spec is the machine every figure starts from; nil uses
+	// config.Default() (the paper's Table I machine). Figures that compare
+	// mechanisms lower the same spec once per mechanism.
+	Spec *config.MachineSpec
+}
+
+// spec returns a copy of the base machine spec.
+func (o Options) spec() config.MachineSpec {
+	if o.Spec != nil {
+		return *o.Spec
+	}
+	return config.Default()
+}
+
+// params lowers the base spec under the named mechanism.
+func (o Options) params(mech string) machine.Params { return specParams(o.spec(), mech) }
+
+// copier builds the named mechanism for m through the registry.
+func (o Options) copier(mech string, m *machine.Machine) copykit.Copier {
+	return specCopier(o.spec(), mech, m)
+}
+
+// hwParams lowers the base spec with the (MC)² hardware installed
+// regardless of the spec's mechanism. OS-experiment machines always carry
+// the lazy engine; the kernel flag decides whether it is used.
+func (o Options) hwParams() machine.Params {
+	p := o.spec().MustParams()
+	p.LazyEnabled = true
+	return p
 }
 
 func (o Options) microOpt() micro.Options {
+	mopt := micro.Options{}
 	if o.Quick {
-		return micro.Quick()
+		mopt = micro.Quick()
 	}
-	return micro.Options{}
+	if o.Spec != nil {
+		p := o.hwParams()
+		mopt.Base = &p
+	}
+	return mopt
 }
 
 func (o Options) protoCfg(cp copykit.Copier) protobuf.Config {
@@ -96,7 +140,7 @@ func All() []Generator {
 		{"15", "MongoDB insert latency", Figure15, nil},
 		{"16", "MVCC RMW throughput", Figure16, figure16Jobs},
 		{"17", "MVCC write-only throughput", Figure17, figure17Jobs},
-		{"18", "huge-page COW write latencies", Figure18, nil},
+		{"18", "huge-page COW write latencies", Figure18, figure18Jobs},
 		{"19", "pipe transfer throughput", Figure19, nil},
 		{"20", "CTT size and threshold sweep", Figure20, figure20Jobs},
 		{"21", "BPQ size sweep", Figure21, nil},
@@ -138,13 +182,14 @@ func figure2Jobs(o Options) JobSet {
 	return JobSet{
 		Jobs: []runner.Job{
 			job("2/protobuf", func() []*stats.Table {
-				pres := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+				pm := protobuf.NewMachineFrom(o.params("baseline"))
+				pres := protobuf.Run(pm, o.protoCfg(o.copier("baseline", pm)))
 				return row("protobuf", float64(pres.CopyCycles)/float64(pres.Cycles))
 			}),
 			job("2/mongodb", func() []*stats.Table {
-				mm := mongo.NewMachine(false)
+				mm := mongo.NewMachineFrom(o.params("baseline"))
 				mcfg := o.mongoCfg(nil)
-				mcfg.Copier = &timedCopier{inner: copykit.Eager{}}
+				mcfg.Copier = &timedCopier{inner: o.copier("baseline", mm)}
 				mres := mongo.Run(mm, mcfg)
 				tc := mcfg.Copier.(*timedCopier)
 				return row("mongodb_inserts", float64(tc.copyCycles)/float64(mres.Cycles))
@@ -154,8 +199,8 @@ func figure2Jobs(o Options) JobSet {
 				// with the version copies removed; the difference is copy
 				// overhead.
 				vcfg := o.mvccCfg(false, 0.125, mvcc.RMW, 1)
-				full := mvcc.Run(mvcc.NewMachine(false, nil), vcfg)
-				nocopy := mvcc.Run(mvcc.NewMachine(false, nil), func() mvcc.Config {
+				full := mvcc.Run(mvcc.NewMachineFrom(o.params("baseline")), vcfg)
+				nocopy := mvcc.Run(mvcc.NewMachineFrom(o.params("baseline")), func() mvcc.Config {
 					c := vcfg
 					c.RowSize = 64 // degenerate tuples: copies ~free, same txn count
 					return c
@@ -169,7 +214,7 @@ func figure2Jobs(o Options) JobSet {
 			job("2/fork_cow", func() []*stats.Table {
 				// Fork + COW fault: share of the fault handler spent copying
 				// the page.
-				p := machine.DefaultParams()
+				p := o.hwParams()
 				m := machine.New(p)
 				k := oskern.New(m)
 				as := k.NewAddressSpace()
@@ -221,7 +266,8 @@ func (t *timedCopier) Free(c *cpu.Core, r memdata.Range)               { t.inner
 
 // Figure3 breaks down where Protobuf memcpy cycles go.
 func Figure3(o Options) []*stats.Table {
-	res := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	m := protobuf.NewMachineFrom(o.params("baseline"))
+	res := protobuf.Run(m, o.protoCfg(o.copier("baseline", m)))
 	tb := stats.NewTable("Figure 3: source of Protobuf memcpy overhead (fractions during memcpy)",
 		"metric", "fraction")
 	missRate := float64(res.CopyL1Misses) / float64(res.CopyAccesses)
@@ -236,7 +282,8 @@ func Figure3(o Options) []*stats.Table {
 // Figure4 emits the Protobuf copy-size CDF, both the model and a sampled
 // workload run.
 func Figure4(o Options) []*stats.Table {
-	res := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
+	m := protobuf.NewMachineFrom(o.params("baseline"))
+	res := protobuf.Run(m, o.protoCfg(o.copier("baseline", m)))
 	tb := stats.NewTable("Figure 4: cumulative distribution of Protobuf memcpy sizes",
 		"size", "cdf_model", "cdf_measured")
 	sizes := trace.Fig4Sizes()
@@ -288,31 +335,29 @@ func Figure21(o Options) []*stats.Table { return []*stats.Table{micro.SrcWrite(o
 // Application workloads (§V-B)
 // ---------------------------------------------------------------------------
 
+// figure14Mechs is the mechanism comparison of Figs 14 and 15, in paper
+// order; each name is built through the config registry.
+func figure14Mechs() []string { return []string{"baseline", "zio", "mc2"} }
+
 // Figure14 compares Protobuf runtime across mechanisms.
 func Figure14(o Options) []*stats.Table {
 	tb := stats.NewTable("Figure 14: Protobuf runtime (ms)", "mechanism", "runtime_ms")
-	base := protobuf.Run(protobuf.NewMachine(false, nil), o.protoCfg(copykit.Eager{}))
-	tb.AddRow("baseline", stats.CyclesToMs(uint64(base.Cycles)))
-	zm := protobuf.NewMachine(false, nil)
-	z := zio.New(oskern.New(zm))
-	zres := protobuf.Run(zm, o.protoCfg(z))
-	tb.AddRow("zio", stats.CyclesToMs(uint64(zres.Cycles)))
-	mc2 := protobuf.Run(protobuf.NewMachine(true, nil), o.protoCfg(copykit.Lazy{Threshold: 1024}))
-	tb.AddRow("mc2", stats.CyclesToMs(uint64(mc2.Cycles)))
+	for _, mech := range figure14Mechs() {
+		m := protobuf.NewMachineFrom(o.params(mech))
+		res := protobuf.Run(m, o.protoCfg(o.copier(mech, m)))
+		tb.AddRow(mech, stats.CyclesToMs(uint64(res.Cycles)))
+	}
 	return []*stats.Table{tb}
 }
 
 // Figure15 compares MongoDB insert latency across mechanisms.
 func Figure15(o Options) []*stats.Table {
 	tb := stats.NewTable("Figure 15: MongoDB average insertion latency (ms)", "mechanism", "latency_ms")
-	base := mongo.Run(mongo.NewMachine(false), o.mongoCfg(copykit.Eager{}))
-	tb.AddRow("baseline", base.AvgInsertMs())
-	zm := mongo.NewMachine(false)
-	z := zio.New(oskern.New(zm))
-	zres := mongo.Run(zm, o.mongoCfg(z))
-	tb.AddRow("zio", zres.AvgInsertMs())
-	mc2 := mongo.Run(mongo.NewMachine(true), o.mongoCfg(copykit.Lazy{Threshold: 1024}))
-	tb.AddRow("mc2", mc2.AvgInsertMs())
+	for _, mech := range figure14Mechs() {
+		m := mongo.NewMachineFrom(o.params(mech))
+		res := mongo.Run(m, o.mongoCfg(o.copier(mech, m)))
+		tb.AddRow(mech, res.AvgInsertMs())
+	}
 	return []*stats.Table{tb}
 }
 
@@ -330,70 +375,104 @@ func mvccTable(mode mvcc.Mode, threads int, withNT bool) *stats.Table {
 
 // mvccRow computes one fraction's row of a Fig 16/17 sweep as a one-row
 // table: a baseline run, an (MC)² run, and optionally the non-temporal
-// variant, each on its own machine.
-func mvccRow(o Options, mode mvcc.Mode, threads int, f float64, withNT bool) *stats.Table {
+// variant, each on its own machine lowered from the cell's spec.
+func mvccRow(o Options, spec config.MachineSpec, mode mvcc.Mode, threads int, f float64, withNT bool) *stats.Table {
 	tb := mvccTable(mode, threads, withNT)
-	base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, f, mode, threads))
-	lazy := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mode, threads))
+	base := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "baseline")), o.mvccCfg(false, f, mode, threads))
+	lazy := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "mc2")), o.mvccCfg(true, f, mode, threads))
 	row := []interface{}{f, base.ThroughputKOps(), lazy.ThroughputKOps()}
 	if withNT {
-		nt := mvcc.Run(mvcc.NewMachine(true, nil), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
+		nt := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "mc2")), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
 		row = append(row, nt.ThroughputKOps())
 	}
 	tb.AddRow(row...)
 	return tb
 }
 
-// mvccJobs enumerates a fraction×thread grid: one job per (threads,
-// fraction) cell, grouped back into one table per thread count.
-func mvccJobs(o Options, fig string, mode mvcc.Mode, withNT bool) JobSet {
-	threads := []int{1, 8}
-	var jobs []runner.Job
-	for _, th := range threads {
-		for _, f := range mvccFractions() {
-			th, f := th, f
-			jobs = append(jobs, job(fmt.Sprintf("%s/t%d/f%g", fig, th, f), func() []*stats.Table {
-				return tables(mvccRow(o, mode, th, f, withNT))
-			}))
-		}
+// mvccSweep declares a Fig 16/17 grid: a thread axis times the
+// update-fraction axis, one table per thread count.
+func mvccSweep(o Options, fig string, mode mvcc.Mode, withNT bool) SweepSpec {
+	threadPts := []Point{{Label: "t1", Value: 1}, {Label: "t8", Value: 8}}
+	fracPts := make([]Point, 0, len(mvccFractions()))
+	for _, f := range mvccFractions() {
+		fracPts = append(fracPts, Point{Label: fmt.Sprintf("f%g", f), Value: f})
 	}
-	n := len(mvccFractions())
-	return JobSet{
-		Jobs:  jobs,
-		Merge: func(parts [][]*stats.Table) []*stats.Table { return concatGroups(parts, n, n) },
+	return SweepSpec{
+		Fig: fig,
+		Axes: []Axis{
+			{Name: "threads", Points: threadPts},
+			{Name: "update_fraction", Points: fracPts},
+		},
+		Cell: func(spec config.MachineSpec, pt []Point) []*stats.Table {
+			return tables(mvccRow(o, spec, mode, pt[0].Value.(int), pt[1].Value.(float64), withNT))
+		},
+		Merge: groupByLeadingAxis,
 	}
 }
 
 // Figure16 is the MVCC read-modify-write sweep (a: 1 thread, b: 8 threads).
 func Figure16(o Options) []*stats.Table { return runJobSet(o, figure16Jobs(o)) }
 
-func figure16Jobs(o Options) JobSet { return mvccJobs(o, "16", mvcc.RMW, false) }
+func figure16Jobs(o Options) JobSet { return mvccSweep(o, "16", mvcc.RMW, false).Compile(o.spec()) }
 
 // Figure17 is the MVCC write-only sweep with the non-temporal variant.
 func Figure17(o Options) []*stats.Table { return runJobSet(o, figure17Jobs(o)) }
 
-func figure17Jobs(o Options) JobSet { return mvccJobs(o, "17", mvcc.WriteOnly, true) }
+func figure17Jobs(o Options) JobSet {
+	return mvccSweep(o, "17", mvcc.WriteOnly, true).Compile(o.spec())
+}
 
 // ---------------------------------------------------------------------------
 // OS experiments (§V-B)
 // ---------------------------------------------------------------------------
 
-// Figure18 records huge-page COW write latencies, native vs (MC)² kernel.
-func Figure18(o Options) []*stats.Table {
-	cfg := oswl.HugeCOWConfig{Seed: 42}
-	if o.Quick {
-		cfg.RegionBytes, cfg.Accesses = 16<<20, 40
+const figure18Title = "Figure 18: write latencies with huge-page COW (cycles, access order)"
+
+// figure18Sweep declares Fig 18 as a kernel axis (native vs (MC)²); the
+// merge zips the two runs' latency columns into one table.
+func figure18Sweep(o Options) SweepSpec {
+	return SweepSpec{
+		Fig: "18",
+		Axes: []Axis{{Name: "kernel", Points: []Point{
+			{Label: "native", Value: false},
+			{Label: "mc2", Value: true},
+		}}},
+		Cell: func(spec config.MachineSpec, pt []Point) []*stats.Table {
+			cfg := oswl.HugeCOWConfig{Seed: 42, Lazy: pt[0].Value.(bool)}
+			if o.Quick {
+				cfg.RegionBytes, cfg.Accesses = 16<<20, 40
+			}
+			// Both kernels run on lazy-capable hardware; cfg.Lazy picks
+			// whether the kernel uses it.
+			p := spec.MustParams()
+			p.LazyEnabled = true
+			cfg.Machine = &p
+			lat := oswl.HugeCOW(cfg)
+			tb := stats.NewTable(figure18Title, "access", pt[0].Label)
+			for i, v := range lat {
+				tb.AddRow(i, v)
+			}
+			return tables(tb)
+		},
+		Merge: figure18Merge,
 	}
-	native := oswl.HugeCOW(cfg)
-	cfg.Lazy = true
-	lazy := oswl.HugeCOW(cfg)
-	tb := stats.NewTable("Figure 18: write latencies with huge-page COW (cycles, access order)",
-		"access", "native", "mc2")
-	for i := range native {
-		tb.AddRow(i, native[i], lazy[i])
-	}
-	return []*stats.Table{tb}
 }
+
+// figure18Merge zips the per-kernel latency columns, preserving the raw
+// cell values (access index stays an int, latencies stay uint64).
+func figure18Merge(sw SweepSpec, parts [][]*stats.Table) []*stats.Table {
+	native, lazy := parts[0][0], parts[1][0]
+	tb := stats.NewTable(figure18Title, "access", "native", "mc2")
+	for i := 0; i < native.NumRows(); i++ {
+		tb.AddRow(native.Value(i, 0), native.Value(i, 1), lazy.Value(i, 1))
+	}
+	return tables(tb)
+}
+
+// Figure18 records huge-page COW write latencies, native vs (MC)² kernel.
+func Figure18(o Options) []*stats.Table { return runJobSet(o, figure18Jobs(o)) }
+
+func figure18Jobs(o Options) JobSet { return figure18Sweep(o).Compile(o.spec()) }
 
 // Figure19 measures pipe transfer throughput across transfer sizes.
 func Figure19(o Options) []*stats.Table {
@@ -403,9 +482,10 @@ func Figure19(o Options) []*stats.Table {
 	if o.Quick {
 		transfers = 24
 	}
+	p := o.hwParams()
 	for _, size := range []uint64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
-		n := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42})
-		l := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42, Lazy: true})
+		n := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42, Machine: &p})
+		l := oswl.PipeThroughput(oswl.PipeConfig{TransferSize: size, Transfers: transfers, Seed: 42, Lazy: true, Machine: &p})
 		tb.AddRow(fmt.Sprintf("%dKB", size>>10), n, l)
 	}
 	return []*stats.Table{tb}
@@ -425,77 +505,98 @@ func figure20Grid(o Options) (entries []int, thresholds []float64) {
 	return entries, thresholds
 }
 
-// figure20Cell runs Protobuf under one (CTT entries, free threshold)
-// configuration and returns the raw cell: runtime and MCLAZY stall cycles.
-func figure20Cell(o Options, e int, th float64) *stats.Table {
-	m := protobuf.NewMachine(true, func(p *machine.Params) {
-		p.Lazy.CTTCapacity = e
-		p.Lazy.FreeThreshold = th
-	})
-	res := protobuf.Run(m, o.protoCfg(copykit.Lazy{Threshold: 1024}))
-	tb := stats.NewTable("Figure 20 cell", "entries", "threshold", "runtime_ms", "stall_cycles")
-	tb.AddRow(e, th, stats.CyclesToMs(uint64(res.Cycles)), float64(m.Metrics.CounterValue("engine.lazy_stall_cycles")))
-	return tb
+// figure20Sweep declares the Fig 20 grid as spec-override axes: CTT
+// capacity times async-free threshold, each point a config.Overrides patch
+// on the base spec. The normalization needs every cell, so it happens in
+// the merge over the cells' raw values.
+func figure20Sweep(o Options) SweepSpec {
+	entries, thresholds := figure20Grid(o)
+	epts := make([]Point, 0, len(entries))
+	for _, e := range entries {
+		epts = append(epts, Point{
+			Label: fmt.Sprintf("e%d", e),
+			Set:   config.Overrides{{Path: "Lazy.CTTCapacity", Value: e}},
+			Value: e,
+		})
+	}
+	tpts := make([]Point, 0, len(thresholds))
+	for _, th := range thresholds {
+		tpts = append(tpts, Point{
+			Label: fmt.Sprintf("th%.0f%%", th*100),
+			Set:   config.Overrides{{Path: "Lazy.FreeThreshold", Value: th}},
+			Value: th,
+		})
+	}
+	return SweepSpec{
+		Fig: "20",
+		Axes: []Axis{
+			{Name: "ctt_entries", Points: epts},
+			{Name: "free_threshold", Points: tpts},
+		},
+		Cell: func(spec config.MachineSpec, pt []Point) []*stats.Table {
+			m := protobuf.NewMachineFrom(specParams(spec, "mc2"))
+			res := protobuf.Run(m, o.protoCfg(specCopier(spec, "mc2", m)))
+			tb := stats.NewTable("Figure 20 cell", "entries", "threshold", "runtime_ms", "stall_cycles")
+			tb.AddRow(pt[0].Value.(int), pt[1].Value.(float64),
+				stats.CyclesToMs(uint64(res.Cycles)), float64(m.Metrics.CounterValue("engine.lazy_stall_cycles")))
+			return tables(tb)
+		},
+		Merge: figure20Merge,
+	}
+}
+
+// figure20Merge assembles the runtime and normalized-stall tables from the
+// grid's raw cells, reading the axes back off the sweep declaration.
+func figure20Merge(sw SweepSpec, parts [][]*stats.Table) []*stats.Table {
+	epts, tpts := sw.Axes[0].Points, sw.Axes[1].Points
+	thresholds := make([]float64, len(tpts))
+	for i, pt := range tpts {
+		thresholds[i] = pt.Value.(float64)
+	}
+	cell := func(ei, ti int) *stats.Table { return parts[ei*len(tpts)+ti][0] }
+	float := func(tb *stats.Table, col int) float64 {
+		v, ok := tb.Float(0, col)
+		if !ok {
+			panic("figures: non-numeric Figure 20 cell")
+		}
+		return v
+	}
+	var minS, maxS = 1e18, -1.0
+	for ei := range epts {
+		for ti := range tpts {
+			s := float(cell(ei, ti), 3)
+			minS, maxS = minFloat(minS, s), maxFloat(maxS, s)
+		}
+	}
+	rt := stats.NewTable("Figure 20a: Protobuf runtime (ms) by CTT entries x copy threshold",
+		append([]string{"entries"}, percentCols(thresholds)...)...)
+	for ei, ept := range epts {
+		row := []interface{}{ept.Value.(int)}
+		for ti := range tpts {
+			row = append(row, float(cell(ei, ti), 2))
+		}
+		rt.AddRow(row...)
+	}
+	st := stats.NewTable("Figure 20b: max-min normalized MCLAZY stall cycles (full CTT)",
+		append([]string{"entries"}, percentCols(thresholds)...)...)
+	for ei, ept := range epts {
+		row := []interface{}{ept.Value.(int)}
+		for ti := range tpts {
+			v := 0.0
+			if maxS > minS {
+				v = (float(cell(ei, ti), 3) - minS) / (maxS - minS)
+			}
+			row = append(row, v)
+		}
+		st.AddRow(row...)
+	}
+	return tables(rt, st)
 }
 
 // Figure20 sweeps CTT capacity and async-free threshold under Protobuf.
-// Each grid cell is an independent job; the stall normalization needs every
-// cell, so it happens in the merge over the cells' raw values.
 func Figure20(o Options) []*stats.Table { return runJobSet(o, figure20Jobs(o)) }
 
-func figure20Jobs(o Options) JobSet {
-	entries, thresholds := figure20Grid(o)
-	var jobs []runner.Job
-	for _, e := range entries {
-		for _, th := range thresholds {
-			e, th := e, th
-			jobs = append(jobs, job(fmt.Sprintf("20/e%d/th%.0f%%", e, th*100), func() []*stats.Table {
-				return tables(figure20Cell(o, e, th))
-			}))
-		}
-	}
-	merge := func(parts [][]*stats.Table) []*stats.Table {
-		cell := func(ei, ti int) *stats.Table { return parts[ei*len(thresholds)+ti][0] }
-		float := func(tb *stats.Table, col int) float64 {
-			v, ok := tb.Float(0, col)
-			if !ok {
-				panic("figures: non-numeric Figure 20 cell")
-			}
-			return v
-		}
-		var minS, maxS = 1e18, -1.0
-		for ei := range entries {
-			for ti := range thresholds {
-				s := float(cell(ei, ti), 3)
-				minS, maxS = minFloat(minS, s), maxFloat(maxS, s)
-			}
-		}
-		rt := stats.NewTable("Figure 20a: Protobuf runtime (ms) by CTT entries x copy threshold",
-			append([]string{"entries"}, percentCols(thresholds)...)...)
-		for ei, e := range entries {
-			row := []interface{}{e}
-			for ti := range thresholds {
-				row = append(row, float(cell(ei, ti), 2))
-			}
-			rt.AddRow(row...)
-		}
-		st := stats.NewTable("Figure 20b: max-min normalized MCLAZY stall cycles (full CTT)",
-			append([]string{"entries"}, percentCols(thresholds)...)...)
-		for ei, e := range entries {
-			row := []interface{}{e}
-			for ti := range thresholds {
-				v := 0.0
-				if maxS > minS {
-					v = (float(cell(ei, ti), 3) - minS) / (maxS - minS)
-				}
-				row = append(row, v)
-			}
-			st.AddRow(row...)
-		}
-		return tables(rt, st)
-	}
-	return JobSet{Jobs: jobs, Merge: merge}
-}
+func figure20Jobs(o Options) JobSet { return figure20Sweep(o).Compile(o.spec()) }
 
 func percentCols(ths []float64) []string {
 	out := make([]string, len(ths))
@@ -532,15 +633,13 @@ func figure22Table(frees []int) *stats.Table {
 // one (MC)² run per parallel-free setting, normalized to the baseline.
 func figure22Row(o Options, th int, frees []int, ctt int) *stats.Table {
 	tb := figure22Table(frees)
-	base := mvcc.Run(mvcc.NewMachine(false, nil), o.mvccCfg(false, 0.125, mvcc.RMW, th))
+	base := mvcc.Run(mvcc.NewMachineFrom(o.params("baseline")), o.mvccCfg(false, 0.125, mvcc.RMW, th))
 	row := []interface{}{th}
 	for _, fr := range frees {
-		fr := fr
-		m := mvcc.NewMachine(true, func(p *machine.Params) {
-			p.Lazy.CTTCapacity = ctt
-			p.Lazy.ParallelFrees = fr
-		})
-		lazy := mvcc.Run(m, o.mvccCfg(true, 0.125, mvcc.RMW, th))
+		p := o.params("mc2")
+		p.Lazy.CTTCapacity = ctt
+		p.Lazy.ParallelFrees = fr
+		lazy := mvcc.Run(mvcc.NewMachineFrom(p), o.mvccCfg(true, 0.125, mvcc.RMW, th))
 		row = append(row, lazy.ThroughputKOps()/base.ThroughputKOps())
 	}
 	tb.AddRow(row...)
@@ -573,9 +672,9 @@ func figure22Jobs(o Options) JobSet {
 // Table I
 // ---------------------------------------------------------------------------
 
-// Table1 dumps the simulated configuration.
+// Table1 dumps the simulated configuration as lowered from the base spec.
 func Table1(o Options) []*stats.Table {
-	p := machine.DefaultParams()
+	p := o.spec().MustParams()
 	tb := stats.NewTable("Table I: simulated configuration", "parameter", "value")
 	rows := [][2]string{
 		{"CPUs", fmt.Sprintf("%d", p.Cores)},

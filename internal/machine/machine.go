@@ -99,12 +99,20 @@ type Machine struct {
 }
 
 // New builds a machine from params.
+//
+// The panics below are last-resort guards for hand-built Params; specs
+// built through internal/config catch the same conditions earlier, in
+// MachineSpec.Validate, as structured errors.
 func New(p Params) *Machine {
 	if p.Channels <= 0 || p.Channels&(p.Channels-1) != 0 {
 		panic(fmt.Sprintf("machine: channel count %d must be a power of two", p.Channels))
 	}
+	if p.Cache.Cores == 0 {
+		p.Cache.Cores = p.Cores // unset geometry inherits the core count
+	}
 	if p.Cache.Cores != p.Cores {
-		p.Cache.Cores = p.Cores
+		panic(fmt.Sprintf("machine: cache geometry built for %d cores but the machine has %d (set Cache.Cores to 0 to inherit, or size the cache with cache.DefaultConfig)",
+			p.Cache.Cores, p.Cores))
 	}
 	m := &Machine{
 		Params: p,

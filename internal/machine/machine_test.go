@@ -39,6 +39,40 @@ func TestAllocExhaustionPanics(t *testing.T) {
 	m.Alloc(2<<20, 1)
 }
 
+// TestNewGuards pins the last-resort panics on hand-built Params — spec
+// users hit the same conditions as structured errors in
+// config.MachineSpec.Validate, long before New runs.
+func TestNewGuards(t *testing.T) {
+	expectPanic := func(name string, p Params) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: New did not panic", name)
+			}
+		}()
+		New(p)
+	}
+	p := DefaultParams()
+	p.Channels = 3
+	expectPanic("non-power-of-two channels", p)
+
+	p = DefaultParams()
+	p.Cores = 4 // cache geometry still sized for 8
+	expectPanic("mismatched cache geometry", p)
+}
+
+// TestNewAdoptsCoreCount: zero Cache.Cores inherits the machine's core
+// count (the explicit opt-in that replaced the old silent rewrite).
+func TestNewAdoptsCoreCount(t *testing.T) {
+	p := DefaultParams()
+	p.Cores = 2
+	p.Cache.Cores = 0
+	m := New(p)
+	if got := len(m.Cores); got != 2 {
+		t.Fatalf("built %d cores, want 2", got)
+	}
+}
+
 func TestRunMultipleCores(t *testing.T) {
 	m := New(DefaultParams())
 	order := make([]int, 0, 2)

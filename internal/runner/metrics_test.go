@@ -27,6 +27,7 @@ func TestExactCycleAttribution(t *testing.T) {
 		jobs[i] = Job{ID: id, Run: func(Options) []*stats.Table {
 			p := machine.DefaultParams()
 			p.Cores = 2
+			p.Cache.Cores = 0 // inherit the reduced core count
 			p.MemSize = 16 << 20
 			m := machine.New(p)
 			buf := m.Alloc(4096, 64)
@@ -70,6 +71,7 @@ func TestResultSnapshotCarriesComponentMetrics(t *testing.T) {
 	jobs := []Job{{ID: "snap", Run: func(Options) []*stats.Table {
 		p := machine.DefaultParams()
 		p.Cores = 1
+		p.Cache.Cores = 0 // inherit the reduced core count
 		p.MemSize = 16 << 20
 		m := machine.New(p)
 		buf := m.Alloc(4096, 64)

@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"mcsquare/internal/config"
+)
+
+// Info is one catalog entry: a runnable workload family plus the
+// capabilities it needs from its copy mechanism. The supported-mechanism
+// sets the CLIs print and enforce are computed against the mechanism
+// registry (config.MechanismsFor), not hardcoded — a new mechanism that
+// declares the right capabilities appears everywhere at once.
+type Info struct {
+	Name    string
+	Summary string
+	// Needs are the capabilities a mechanism must declare to drive this
+	// workload.
+	Needs []config.Capability
+	// Note explains a restriction in -list output and rejection messages.
+	Note string
+}
+
+// Catalog lists every CLI-runnable workload family in presentation order.
+func Catalog() []Info {
+	return []Info{
+		{
+			Name:    "protobuf",
+			Summary: "protobuf merge loop (Fig 14)",
+			Needs:   []config.Capability{config.CapCopier},
+		},
+		{
+			Name:    "mongo",
+			Summary: "MongoDB-style document inserts (Fig 15)",
+			Needs:   []config.Capability{config.CapCopier},
+		},
+		{
+			Name:    "mvcc",
+			Summary: "Cicada-style MVCC version copies (Fig 16/17)",
+			Needs:   []config.Capability{config.CapKernel, config.CapSharedMem},
+			Note:    "no zio: the paper could not run zIO on Cicada (MAP_SHARED); neither do we",
+		},
+		{
+			Name:    "pipe",
+			Summary: "Linux pipe transfers with lazy kernel buffer copies (Fig 19)",
+			Needs:   []config.Capability{config.CapKernel},
+		},
+		{
+			Name:    "hugecow",
+			Summary: "huge-page COW write latency after fork (Fig 18)",
+			Needs:   []config.Capability{config.CapKernel},
+		},
+	}
+}
+
+// Find returns the catalog entry for a name.
+func Find(name string) (Info, bool) {
+	for _, w := range Catalog() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Info{}, false
+}
+
+// Names returns every catalog name in presentation order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, w := range cat {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Mechanisms returns the registered mechanism names that support this
+// workload's capability needs.
+func (w Info) Mechanisms() []string { return config.MechanismsFor(w.Needs) }
+
+// SupportsMechanism reports whether the named registered mechanism can
+// drive this workload.
+func (w Info) SupportsMechanism(name string) bool {
+	m, ok := config.LookupMechanism(name)
+	return ok && m.Supports(w.Needs)
+}

@@ -24,6 +24,10 @@ type Config struct {
 	SnapshotEach int    // fork a snapshot every N ops (default 100)
 	LazyCOW      bool   // the (MC)² kernel
 	Seed         int64
+	// Machine is the base machine (a config.MachineSpec lowering); nil
+	// uses machine.DefaultParams(). MemSize is resized to fit the store
+	// either way.
+	Machine *machine.Params
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +57,9 @@ type Result struct {
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	p := machine.DefaultParams()
+	if cfg.Machine != nil {
+		p = *cfg.Machine
+	}
 	p.MemSize = cfg.StoreBytes*4 + (128 << 20)
 	m := machine.New(p)
 	k := oskern.New(m)

@@ -29,6 +29,10 @@ type Options struct {
 	// Quick runs shrink the L2 along with the buffers so the access sweeps
 	// stay in the paper's regime where the buffer exceeds the cache.
 	L2Size int
+	// Base is the machine every microbenchmark variant starts from (a
+	// config.MachineSpec lowering); nil uses machine.DefaultParams().
+	// The L2Size and per-variant mutations layer on top.
+	Base *machine.Params
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +50,9 @@ func Quick() Options { return Options{MaxSize: 256 << 10, BufSize: 256 << 10, L2
 
 func (o Options) newMachine(mutate func(*machine.Params)) *machine.Machine {
 	p := machine.DefaultParams()
+	if o.Base != nil {
+		p = *o.Base
+	}
 	if o.L2Size != 0 {
 		p.Cache.L2Size = o.L2Size
 	}

@@ -74,7 +74,17 @@ func (r Result) AvgInsertMs() float64 {
 func NewMachine(lazy bool) *machine.Machine {
 	p := machine.DefaultParams()
 	p.LazyEnabled = lazy
-	p.MemSize = 768 << 20
+	return NewMachineFrom(p)
+}
+
+// NewMachineFrom builds the workload's machine from fully lowered params.
+// Workload sizing layers on top of the spec: the collection and journal
+// need ~768 MB of backing store, so smaller configured memories (the
+// Table I default is 256 MB) are raised to fit.
+func NewMachineFrom(p machine.Params) *machine.Machine {
+	if p.MemSize < 768<<20 {
+		p.MemSize = 768 << 20
+	}
 	return machine.New(p)
 }
 

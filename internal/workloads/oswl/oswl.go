@@ -19,6 +19,10 @@ type HugeCOWConfig struct {
 	Accesses    int    // random 8-byte updates measured (paper plots 100)
 	Lazy        bool   // the modified kernel: MCLAZY in copy_user_huge_page
 	Seed        int64
+	// Machine is the base machine (a config.MachineSpec lowering); nil
+	// uses machine.DefaultParams(). MemSize is resized to fit the region
+	// either way.
+	Machine *machine.Params
 }
 
 func (c HugeCOWConfig) withDefaults() HugeCOWConfig {
@@ -38,6 +42,9 @@ func (c HugeCOWConfig) withDefaults() HugeCOWConfig {
 func HugeCOW(cfg HugeCOWConfig) []uint64 {
 	cfg = cfg.withDefaults()
 	p := machine.DefaultParams()
+	if cfg.Machine != nil {
+		p = *cfg.Machine
+	}
 	p.MemSize = cfg.RegionBytes*3 + (64 << 20)
 	m := machine.New(p)
 	k := oskern.New(m)
@@ -73,6 +80,9 @@ type PipeConfig struct {
 	Transfers    int    // pairs measured (default 64)
 	Lazy         bool   // lazy pipe copies + MCFREE of consumed buffers
 	Seed         int64
+	// Machine is the base machine (a config.MachineSpec lowering); nil
+	// uses machine.DefaultParams().
+	Machine *machine.Params
 }
 
 func (c PipeConfig) withDefaults() PipeConfig {
@@ -91,6 +101,9 @@ func (c PipeConfig) withDefaults() PipeConfig {
 func PipeThroughput(cfg PipeConfig) float64 {
 	cfg = cfg.withDefaults()
 	p := machine.DefaultParams()
+	if cfg.Machine != nil {
+		p = *cfg.Machine
+	}
 	m := machine.New(p)
 	k := oskern.New(m)
 	k.LazyPipes = cfg.Lazy

@@ -173,5 +173,11 @@ func NewMachine(lazy bool, mutate func(*machine.Params)) *machine.Machine {
 	if mutate != nil {
 		mutate(&p)
 	}
+	return NewMachineFrom(p)
+}
+
+// NewMachineFrom builds the workload's machine from fully lowered params
+// (a config.MachineSpec lowering); this workload needs no extra sizing.
+func NewMachineFrom(p machine.Params) *machine.Machine {
 	return machine.New(p)
 }

@@ -1,0 +1,38 @@
+package zio
+
+import (
+	"encoding/json"
+
+	"mcsquare/internal/config"
+	"mcsquare/internal/copykit"
+	"mcsquare/internal/machine"
+	"mcsquare/internal/oskern"
+)
+
+// zIO registers itself as a copy mechanism: the registry pattern new
+// backends follow — declare capabilities, decode your own parameter
+// block, build from a lowered machine. zIO declines CapSharedMem (the
+// paper could not run zIO on Cicada's MAP_SHARED memory; neither do we)
+// and CapKernel (it is a user-space library over an unmodified kernel).
+func init() {
+	config.Register(config.Mechanism{
+		Name:        "zio",
+		Summary:     "zIO-style page-granular copy elision with copy-on-access faults",
+		NeedsLazyHW: false,
+		Caps:        []config.Capability{config.CapCopier},
+		Note:        "no MAP_SHARED workloads: the paper could not run zIO on Cicada; neither do we",
+		ValidateParams: func(raw json.RawMessage) error {
+			p := DefaultParams()
+			return config.DecodeMechParams(raw, &p)
+		},
+		Build: func(spec *config.MachineSpec, m *machine.Machine) (copykit.Copier, error) {
+			p := DefaultParams()
+			if err := config.DecodeMechParams(spec.Mechanism.Params, &p); err != nil {
+				return nil, err
+			}
+			z := New(oskern.New(m))
+			z.P = p
+			return z, nil
+		},
+	})
+}
