@@ -9,6 +9,7 @@
 //	mcsim -config examples/configs/table1.json    # declarative machine spec
 //	mcsim -config spec.json -set Channels=4       # spec with field overrides
 //	mcsim -config spec.json -validate             # check a spec, print it canonically
+//	mcsim -fleet                         # fleet smoke: N machines behind a load balancer
 //	mcsim -list                          # enumerate workloads and mechanisms
 //	mcsim -stats out.json                # machine-readable metrics dump
 //	mcsim -trace out.json                # Chrome/Perfetto transaction trace
@@ -31,6 +32,14 @@
 // memory operation (1 = all). Tracing also adds per-stage latency
 // histograms (txtrace.*) to the -stats output.
 //
+// -fleet switches to the fleet serving mode (internal/fleet): the spec's
+// Fleet block — or the default six-machine fleet — is calibrated per
+// machine with the real simulator and driven open-loop through the
+// configured load balancer; the summary reports capacity, offered load,
+// goodput, and latency SLOs. The spec's mechanism selects the serving
+// column; the offered rate derives from a baseline calibration either way,
+// so baseline and mc2 runs face identical load.
+//
 // -faults injects a deterministic fault schedule (a bare seed like
 // 0xC0FFEE, or a schedule JSON file) into every machine of the run;
 // -invariants turns on the runtime correctness oracles (shadow-memory
@@ -49,6 +58,7 @@ import (
 	"mcsquare/internal/config"
 	"mcsquare/internal/copykit"
 	"mcsquare/internal/faultinject"
+	"mcsquare/internal/fleet"
 	"mcsquare/internal/invariant"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/metrics"
@@ -92,6 +102,7 @@ func main() {
 		frac     = flag.Float64("frac", 0.125, "mvcc: update fraction")
 		size     = flag.Uint64("size", 4096, "pipe: transfer size in bytes")
 		quick    = flag.Bool("quick", true, "reduced problem sizes")
+		fleetRun = flag.Bool("fleet", false, "run the spec's fleet block (or the default fleet) instead of a single workload")
 		list     = flag.Bool("list", false, "list workloads and mechanisms and exit")
 		statsOut = flag.String("stats", "", "write the run's metrics registry as JSON to this file; - for stdout")
 		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
@@ -140,19 +151,10 @@ func main() {
 	}
 
 	mk, _ := config.LookupMechanism(spec.Mechanism.Name) // Validate checked registration
-	w, ok := workloads.Find(*wl)
-	if !ok {
-		usageErr("unknown workload %q; available: %s", *wl, strings.Join(workloads.Names(), ", "))
+	run := runFleet
+	if !*fleetRun {
+		run = resolveWorkload(*wl, mk)
 	}
-	if !w.SupportsMechanism(mk.Name) {
-		msg := fmt.Sprintf("workload %s does not support mechanism %q; supported: %s",
-			w.Name, mk.Name, strings.Join(w.Mechanisms(), ", "))
-		if w.Note != "" {
-			msg += " (" + w.Note + ")"
-		}
-		usageErr("%s", msg)
-	}
-
 	// Validate output destinations up front: a simulation should not run
 	// for minutes only to fail writing its result.
 	traceFile, err := cliutil.CreateOutput(*traceOut)
@@ -176,7 +178,7 @@ func main() {
 	releaseFaults := fcol.Bind()
 	icol := invariant.NewCollector(icfg)
 	releaseInv := icol.Bind()
-	runners[w.Name](options{
+	run(options{
 		spec: spec, mech: mk,
 		threads: *threads, frac: *frac, size: *size, quick: *quick,
 	})
@@ -217,6 +219,9 @@ func main() {
 	}
 }
 
+// clock is the spec's cycle→wall-time converter for printed summaries.
+func (o options) clock() stats.Clock { return cliutil.SpecClock(o.spec) }
+
 // copier builds the spec's mechanism for m through the registry.
 func (o options) copier(m *machine.Machine) copykit.Copier {
 	cp, err := config.BuildCopier(o.spec, m)
@@ -243,7 +248,7 @@ func runProtobuf(o options) {
 	cfg.Copier = o.copier(m)
 	res := protobuf.Run(m, cfg)
 	fmt.Printf("protobuf/%s: runtime %.3f ms, %d copies (%.1f%% of cycles in memcpy)\n",
-		o.mech.Name, stats.CyclesToMs(uint64(res.Cycles)), res.Copies,
+		o.mech.Name, o.clock().CyclesToMs(uint64(res.Cycles)), res.Copies,
 		100*float64(res.CopyCycles)/float64(res.Cycles))
 	printCounters(m.Metrics,
 		"engine.lazy_ops", "engine.bounces", "engine.bounce_writebacks",
@@ -259,7 +264,7 @@ func runMongo(o options) {
 	cfg.Copier = o.copier(m)
 	res := mongo.Run(m, cfg)
 	fmt.Printf("mongo/%s: average insert latency %.4f ms (p99 %.4f ms)\n",
-		o.mech.Name, res.AvgInsertMs(), stats.CyclesToMs(uint64(res.Latencies.Percentile(99))))
+		o.mech.Name, res.AvgInsertMsAt(o.clock()), o.clock().CyclesToMs(uint64(res.Latencies.Percentile(99))))
 }
 
 func runMVCC(o options) {
@@ -270,7 +275,7 @@ func runMVCC(o options) {
 	m := mvcc.NewMachineFrom(o.spec.MustParams())
 	res := mvcc.Run(m, cfg)
 	fmt.Printf("mvcc/%s: %d txns in %.3f ms = %.0f kOps/s (%d threads, %.1f%% updated)\n",
-		o.mech.Name, res.Ops, stats.CyclesToMs(uint64(res.Cycles)), res.ThroughputKOps(),
+		o.mech.Name, res.Ops, o.clock().CyclesToMs(uint64(res.Cycles)), res.ThroughputKOpsAt(o.clock()),
 		o.threads, o.frac*100)
 }
 
@@ -295,6 +300,40 @@ func runHugeCOW(o options) {
 	}
 	fmt.Printf("hugecow/%s: %d accesses, latency min %.0f / mean %.0f / max %.0f cycles\n",
 		o.mech.Name, h.N(), h.Min(), h.Mean(), h.Max())
+}
+
+// resolveWorkload maps a -workload name to its runner, checking the
+// catalog's mechanism-compatibility declarations.
+func resolveWorkload(name string, mk config.Mechanism) func(options) {
+	w, ok := workloads.Find(name)
+	if !ok {
+		usageErr("unknown workload %q; available: %s", name, strings.Join(workloads.Names(), ", "))
+	}
+	if !w.SupportsMechanism(mk.Name) {
+		msg := fmt.Sprintf("workload %s does not support mechanism %q; supported: %s",
+			w.Name, mk.Name, strings.Join(w.Mechanisms(), ", "))
+		if w.Note != "" {
+			msg += " (" + w.Note + ")"
+		}
+		usageErr("%s", msg)
+	}
+	return runners[w.Name]
+}
+
+// runFleet is the -fleet smoke mode: calibrate and simulate the spec's
+// fleet block at its configured operating point.
+func runFleet(o options) {
+	res, err := fleet.Run(*o.spec, fleet.Options{Quick: o.quick})
+	if err != nil {
+		fatal("-fleet: %v", err)
+	}
+	fmt.Printf("fleet/%s: %d machines, capacity %.0f kOps/s, offered %.0f kOps/s\n",
+		res.Mechanism, res.Machines, res.CapacityKOps, res.OfferedKOps())
+	fmt.Printf("  completed %d/%d (dropped %d), goodput %.0f kOps/s\n",
+		res.Completed, res.Offered, res.Dropped, res.GoodputKOps())
+	fmt.Printf("  latency ms: p50 %.4f  p95 %.4f  p99 %.4f  p99.9 %.4f  (mean queue depth %.2f)\n",
+		res.PercentileMs(50), res.PercentileMs(95), res.PercentileMs(99), res.PercentileMs(99.9),
+		res.MeanQueueDepth)
 }
 
 // printCounters prints the named counters that exist in the registry.

@@ -15,6 +15,7 @@ import (
 	"mcsquare/internal/faultinject"
 	"mcsquare/internal/invariant"
 	"mcsquare/internal/metrics"
+	"mcsquare/internal/stats"
 	"mcsquare/internal/workloads"
 
 	// Out-of-tree mechanisms self-register with the config registry; the
@@ -33,6 +34,17 @@ func (s *StringList) String() string { return strings.Join(*s, ",") }
 func (s *StringList) Set(v string) error {
 	*s = append(*s, v)
 	return nil
+}
+
+// SpecClock is the cycle→wall-time converter for a loaded spec: every CLI
+// summary that prints nanoseconds or milliseconds goes through it, so a
+// -set ClockGHz=2 machine reports real wall time instead of the Table I
+// default's. A nil spec (or an unset ClockGHz) falls back to 4 GHz.
+func SpecClock(spec *config.MachineSpec) stats.Clock {
+	if spec == nil {
+		return stats.DefaultClock
+	}
+	return stats.Clock(spec.ClockGHz)
 }
 
 // LoadSpec builds the run's machine spec from the override layers: the

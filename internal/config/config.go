@@ -45,6 +45,11 @@ type MachineSpec struct {
 	Version int
 	// Cores is the CPU count. Cache.Cores must be 0 (inherit) or equal.
 	Cores int
+	// ClockGHz is the CPU frequency the cycle-accurate simulation is
+	// interpreted at when results are converted to wall time (ms summaries,
+	// throughput in ops/s). The simulator itself counts cycles; only the
+	// conversions read this.
+	ClockGHz float64
 	// MemSize is the bytes of physical memory to model.
 	MemSize uint64
 	// Channels is the DRAM channel / memory-controller count (power of two).
@@ -62,6 +67,13 @@ type MachineSpec struct {
 	// Mechanism selects the copy mechanism built for the machine and
 	// decides whether the (MC)² hardware is installed.
 	Mechanism MechanismSpec
+
+	// Fleet, when present, describes a whole serving deployment built from
+	// this machine spec: replica counts (optionally heterogeneous groups),
+	// the open-loop arrival process, the load-balancing policy, and the
+	// request mix. internal/fleet consumes it; single-machine tools ignore
+	// it.
+	Fleet *FleetSpec `json:",omitempty"`
 }
 
 // MechanismSpec is the mechanism block of a spec: a registered name plus an
@@ -81,6 +93,7 @@ func Default() MachineSpec {
 	return MachineSpec{
 		Version:   SpecVersion,
 		Cores:     p.Cores,
+		ClockGHz:  4,
 		MemSize:   p.MemSize,
 		Channels:  p.Channels,
 		MC:        p.MC,
@@ -131,6 +144,9 @@ func (s MachineSpec) Validate() error {
 	}
 	if s.Cores < 1 {
 		v.errf("Cores", "must be at least 1, have %d", s.Cores)
+	}
+	if s.ClockGHz <= 0 {
+		v.errf("ClockGHz", "must be positive, have %g", s.ClockGHz)
 	}
 	if s.MemSize < 2*memdata.PageSize {
 		v.errf("MemSize", "must be at least two pages (%d bytes), have %d", 2*memdata.PageSize, s.MemSize)
@@ -204,6 +220,10 @@ func (s MachineSpec) Validate() error {
 	}
 	if s.Lazy.EagerCopyFrac < 0 || s.Lazy.EagerCopyFrac > 1 {
 		v.errf("Lazy.EagerCopyFrac", "must be in [0, 1], have %g", s.Lazy.EagerCopyFrac)
+	}
+
+	if s.Fleet != nil {
+		s.Fleet.validate(v)
 	}
 
 	if s.Mechanism.Name == "" {

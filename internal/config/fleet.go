@@ -1,0 +1,230 @@
+package config
+
+import (
+	"strings"
+)
+
+// FleetSpec is the fleet block of a machine spec: how many replicas of the
+// machine to instantiate (optionally heterogeneous groups layering spec
+// overrides), the open-loop arrival process driving them, the
+// load-balancing policy in front, and the request mix mapped onto the
+// existing workload families. A spec without a fleet block describes one
+// machine, exactly as before; internal/fleet is the consumer.
+type FleetSpec struct {
+	// Machines is the replica count when Groups is empty. Zero inherits
+	// DefaultFleet().Machines.
+	Machines int `json:",omitempty"`
+	// Groups, when non-empty, declares a heterogeneous fleet: each group
+	// contributes Count machines lowered from the base spec with the
+	// group's Set overrides ("Path=value" assignments, the -set syntax)
+	// applied on top. Machines is ignored when Groups is set.
+	Groups []FleetGroup `json:",omitempty"`
+	// Arrival is the open-loop request generator.
+	Arrival ArrivalSpec
+	// LB names the load-balancing policy: round-robin ("rr"),
+	// least-outstanding ("least"), or consistent-hash ("hash").
+	LB string `json:",omitempty"`
+	// QueueCap bounds each machine's pending-request queue; arrivals that
+	// find it full are dropped (they count against goodput, not latency).
+	// Zero inherits the default.
+	QueueCap int `json:",omitempty"`
+	// ServersPerMachine is the number of requests one machine serves
+	// concurrently; zero means the machine spec's core count.
+	ServersPerMachine int `json:",omitempty"`
+	// Requests is the number of arrivals generated per run; zero inherits
+	// the default (scaled down in quick mode by the consumer).
+	Requests int `json:",omitempty"`
+	// Seed drives every random choice of the fleet simulation (arrival
+	// gaps, mix selection, service-time sampling) and offsets the
+	// per-machine calibration seeds; replays are exact.
+	Seed int64 `json:",omitempty"`
+	// Mix is the YCSB-style request mix over the workload families in
+	// FleetWorkloads. Empty inherits DefaultFleet().Mix.
+	Mix []MixEntry `json:",omitempty"`
+}
+
+// FleetGroup is one homogeneous slice of a heterogeneous fleet.
+type FleetGroup struct {
+	// Count is how many machines this group contributes.
+	Count int
+	// Set patches the base machine spec for this group, one "Path=value"
+	// assignment per entry (e.g. "Channels=4", "Lazy.CTTCapacity=512").
+	Set []string `json:",omitempty"`
+}
+
+// ArrivalSpec describes the open-loop arrival process.
+type ArrivalSpec struct {
+	// Process is "poisson" (seeded exponential gaps) or "trace" (replay
+	// GapsCycles cyclically). Empty means poisson.
+	Process string `json:",omitempty"`
+	// RateFraction positions the offered load as a fraction of the
+	// fleet's calibrated baseline capacity (1.0 = at capacity). Used when
+	// RateKOps is zero; zero too means the consumer's sweep decides.
+	RateFraction float64 `json:",omitempty"`
+	// RateKOps pins the offered load absolutely, in thousands of requests
+	// per second at the spec's ClockGHz; takes precedence over
+	// RateFraction.
+	RateKOps float64 `json:",omitempty"`
+	// GapsCycles is the trace-driven inter-arrival gap sequence in cycles,
+	// replayed cyclically; required for Process "trace".
+	GapsCycles []float64 `json:",omitempty"`
+}
+
+// MixEntry weights one workload family in the request mix.
+type MixEntry struct {
+	Workload string
+	Weight   float64
+}
+
+// FleetWorkloads are the workload families a fleet mix may name, each
+// backed by a per-request service-time calibration in internal/fleet
+// (which tests pin against this list).
+func FleetWorkloads() []string { return []string{"mongo", "mvcc", "protobuf", "kvsnap"} }
+
+// FleetLBPolicies are the valid FleetSpec.LB values.
+func FleetLBPolicies() []string { return []string{"rr", "least", "hash"} }
+
+// DefaultFleet is the fleet block used when a spec enables fleet mode
+// without one: a small homogeneous fleet under a mongo-heavy mix behind
+// least-outstanding balancing.
+func DefaultFleet() FleetSpec {
+	return FleetSpec{
+		Machines: 6,
+		Arrival:  ArrivalSpec{Process: "poisson", RateFraction: 0.7},
+		LB:       "least",
+		QueueCap: 64,
+		Requests: 4000,
+		Seed:     1,
+		Mix: []MixEntry{
+			{Workload: "mongo", Weight: 0.5},
+			{Workload: "mvcc", Weight: 0.3},
+			{Workload: "protobuf", Weight: 0.2},
+		},
+	}
+}
+
+// Normalized returns a copy with zero-valued fields inheriting
+// DefaultFleet(); Validate and internal/fleet both consume the normalized
+// form, so partial fleet blocks behave like partial machine specs.
+func (f FleetSpec) Normalized() FleetSpec {
+	def := DefaultFleet()
+	if f.Machines == 0 && len(f.Groups) == 0 {
+		f.Machines = def.Machines
+	}
+	if f.Arrival.Process == "" {
+		f.Arrival.Process = "poisson"
+	}
+	if f.Arrival.RateFraction == 0 && f.Arrival.RateKOps == 0 {
+		f.Arrival.RateFraction = def.Arrival.RateFraction
+	}
+	if f.LB == "" {
+		f.LB = def.LB
+	}
+	if f.QueueCap == 0 {
+		f.QueueCap = def.QueueCap
+	}
+	if f.Requests == 0 {
+		f.Requests = def.Requests
+	}
+	if f.Seed == 0 {
+		f.Seed = def.Seed
+	}
+	if len(f.Mix) == 0 {
+		f.Mix = append([]MixEntry(nil), def.Mix...)
+	}
+	return f
+}
+
+// NumMachines returns the normalized fleet size.
+func (f FleetSpec) NumMachines() int {
+	f = f.Normalized()
+	if len(f.Groups) == 0 {
+		return f.Machines
+	}
+	n := 0
+	for _, g := range f.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// validate appends the fleet block's field errors (paths rooted at
+// "Fleet."), checking the normalized form so partial blocks validate the
+// way they will run.
+func (f *FleetSpec) validate(v *validator) {
+	n := f.Normalized()
+	if f.Machines < 0 {
+		v.errf("Fleet.Machines", "must not be negative, have %d", f.Machines)
+	}
+	for i, g := range f.Groups {
+		if g.Count < 1 {
+			v.errf("Fleet.Groups", "group %d: Count must be at least 1, have %d", i, g.Count)
+		}
+		for _, a := range g.Set {
+			if _, err := ParseAssignment(a); err != nil {
+				v.errf("Fleet.Groups", "group %d: %v", i, err)
+			}
+		}
+	}
+	if n.NumMachines() < 1 {
+		v.errf("Fleet.Machines", "fleet must contain at least 1 machine")
+	}
+	switch n.Arrival.Process {
+	case "poisson":
+	case "trace":
+		if len(f.Arrival.GapsCycles) == 0 {
+			v.errf("Fleet.Arrival.GapsCycles", "trace-driven arrivals need at least one gap")
+		}
+	default:
+		v.errf("Fleet.Arrival.Process", "unknown arrival process %q (want poisson or trace)", f.Arrival.Process)
+	}
+	for i, gap := range f.Arrival.GapsCycles {
+		if gap < 0 {
+			v.errf("Fleet.Arrival.GapsCycles", "gap %d is negative (%g)", i, gap)
+		}
+	}
+	if f.Arrival.RateFraction < 0 {
+		v.errf("Fleet.Arrival.RateFraction", "must not be negative, have %g", f.Arrival.RateFraction)
+	}
+	if f.Arrival.RateKOps < 0 {
+		v.errf("Fleet.Arrival.RateKOps", "must not be negative, have %g", f.Arrival.RateKOps)
+	}
+	valid := false
+	for _, p := range FleetLBPolicies() {
+		if n.LB == p {
+			valid = true
+		}
+	}
+	if !valid {
+		v.errf("Fleet.LB", "unknown policy %q; valid: %s", n.LB, strings.Join(FleetLBPolicies(), ", "))
+	}
+	if f.QueueCap < 0 {
+		v.errf("Fleet.QueueCap", "must not be negative, have %d", f.QueueCap)
+	}
+	if f.ServersPerMachine < 0 {
+		v.errf("Fleet.ServersPerMachine", "must not be negative, have %d", f.ServersPerMachine)
+	}
+	if f.Requests < 0 {
+		v.errf("Fleet.Requests", "must not be negative, have %d", f.Requests)
+	}
+	total := 0.0
+	for i, mx := range n.Mix {
+		known := false
+		for _, w := range FleetWorkloads() {
+			if mx.Workload == w {
+				known = true
+			}
+		}
+		if !known {
+			v.errf("Fleet.Mix", "entry %d: unknown workload %q; valid: %s",
+				i, mx.Workload, strings.Join(FleetWorkloads(), ", "))
+		}
+		if mx.Weight <= 0 {
+			v.errf("Fleet.Mix", "entry %d (%s): weight must be positive, have %g", i, mx.Workload, mx.Weight)
+		}
+		total += mx.Weight
+	}
+	if len(n.Mix) > 0 && total <= 0 {
+		v.errf("Fleet.Mix", "mix weights sum to %g; must be positive", total)
+	}
+}

@@ -42,6 +42,18 @@ func (s *MachineSpec) Apply(ovs Overrides) error {
 func (s *MachineSpec) apply(ov Override) error {
 	field := reflect.ValueOf(s).Elem()
 	for _, name := range strings.Split(ov.Path, ".") {
+		// Optional blocks (e.g. Fleet) are pointers: descending into one
+		// allocates it so "-set Fleet.Machines=8" works on a spec without a
+		// fleet block.
+		if field.Kind() == reflect.Ptr && field.Type().Elem().Kind() == reflect.Struct {
+			if field.IsNil() {
+				if !field.CanSet() {
+					return &FieldError{Path: ov.Path, Msg: "field cannot be set"}
+				}
+				field.Set(reflect.New(field.Type().Elem()))
+			}
+			field = field.Elem()
+		}
 		if field.Kind() != reflect.Struct {
 			return &FieldError{Path: ov.Path, Msg: "path descends into a non-struct field"}
 		}

@@ -37,14 +37,21 @@ func (c *Collector) Schedule() Schedule {
 }
 
 // NewPlane creates, records, and returns one plane (nil from a nil
-// collector). The plane's firing phases depend on its creation index, so
-// build machines in a deterministic order.
+// collector). The plane's firing phases depend on its identity: the
+// creation index by default, or the id pinned to the calling goroutine via
+// PinPlaneID. Unpinned callers must build machines in a deterministic
+// order; pinned callers (the fleet layer) may build in any order and still
+// replay byte-identically.
 func (c *Collector) NewPlane() *Plane {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
-	p := newPlane(c.sched, len(c.pls))
+	idx := len(c.pls)
+	if id, ok := pinnedPlaneID(); ok {
+		idx = id
+	}
+	p := newPlane(c.sched, idx)
 	c.pls = append(c.pls, p)
 	c.mu.Unlock()
 	return p
@@ -98,6 +105,46 @@ func (c *Collector) Bind() (release func()) {
 		}
 		ambientMu.Unlock()
 	}
+}
+
+// planePins maps goroutine id → pinned plane id for machines built while a
+// pin is in effect (see PinPlaneID).
+var (
+	planePinMu sync.Mutex
+	planePins  = map[uint64]int{}
+)
+
+// PinPlaneID fixes the plane identity handed out by NewPlane on the calling
+// goroutine until the returned release func runs. The fleet layer pins each
+// machine's stable index before construction so fault phases depend on
+// which machine a plane belongs to, not on the order machines happen to be
+// built in.
+func PinPlaneID(id int) (release func()) {
+	gid := goid()
+	planePinMu.Lock()
+	prev, had := planePins[gid]
+	planePins[gid] = id
+	planePinMu.Unlock()
+	return func() {
+		planePinMu.Lock()
+		if had {
+			planePins[gid] = prev
+		} else {
+			delete(planePins, gid)
+		}
+		planePinMu.Unlock()
+	}
+}
+
+// pinnedPlaneID reports the id pinned to the calling goroutine, if any.
+func pinnedPlaneID() (int, bool) {
+	planePinMu.Lock()
+	defer planePinMu.Unlock()
+	if len(planePins) == 0 {
+		return 0, false // no pins anywhere: skip the goid parse
+	}
+	id, ok := planePins[goid()]
+	return id, ok
 }
 
 // AmbientCollector returns the collector bound to the calling goroutine,

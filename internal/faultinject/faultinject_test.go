@@ -179,3 +179,51 @@ func TestCollector(t *testing.T) {
 		t.Fatalf("Planes = %d, want 2", len(c.Planes()))
 	}
 }
+
+// TestPinPlaneID: a pinned plane id reproduces the firing sequence of the
+// same creation index, regardless of the order planes are actually built in
+// (the fleet layer pins each machine's stable index so chaos replays are
+// byte-identical across instantiation orders).
+func TestPinPlaneID(t *testing.T) {
+	s := Schedule{Seed: 7, WPQRejectEvery: 4, DRAMCorruptEvery: 3}
+	const offers = 200
+	record := func(p *Plane) []bool {
+		seq := make([]bool, offers)
+		for i := range seq {
+			seq[i] = p.Fire(KindWPQReject, uint64(i), uint64(i))
+			p.Fire(KindDRAMCorrupt, uint64(i), uint64(i))
+		}
+		return seq
+	}
+	// Reference: planes built in natural order, no pins.
+	ref := NewCollector(&s)
+	want := [][]bool{record(ref.NewPlane()), record(ref.NewPlane()), record(ref.NewPlane())}
+
+	// Planes built in reverse order, each pinned to its stable id.
+	c := NewCollector(&s)
+	got := make([][]bool, 3)
+	for id := 2; id >= 0; id-- {
+		release := PinPlaneID(id)
+		got[id] = record(c.NewPlane())
+		release()
+	}
+	for id := range want {
+		for i := range want[id] {
+			if got[id][i] != want[id][i] {
+				t.Fatalf("plane %d: firing position %d diverged under pinned out-of-order construction", id, i)
+			}
+		}
+	}
+
+	// Pins are scoped: after release, NewPlane falls back to creation index.
+	release := PinPlaneID(9)
+	release()
+	c2 := NewCollector(&s)
+	p := c2.NewPlane()
+	q := newPlane(s, 0)
+	for i := 0; i < offers; i++ {
+		if p.Fire(KindWPQReject, uint64(i), uint64(i)) != q.Fire(KindWPQReject, uint64(i), uint64(i)) {
+			t.Fatalf("released pin still affected plane identity at offer %d", i)
+		}
+	}
+}

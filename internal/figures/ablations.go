@@ -61,7 +61,7 @@ func ablThresholdPoint(o Options, th uint64) *stats.Table {
 	tb := stats.NewTable("Ablation: interposer threshold (Protobuf runtime, ms)",
 		"threshold", "runtime_ms")
 	res := protobuf.Run(protobuf.NewMachineFrom(o.params("mc2")), o.protoCfg(copykit.Lazy{Threshold: th}))
-	tb.AddRow(th, stats.CyclesToMs(uint64(res.Cycles)))
+	tb.AddRow(th, o.clock().CyclesToMs(uint64(res.Cycles)))
 	return tb
 }
 
@@ -200,7 +200,7 @@ func Scaling(o Options) []*stats.Table {
 		bp.Channels, lp.Channels = ch, ch
 		base := mvcc.Run(mvcc.NewMachineFrom(bp), o.mvccCfg(false, 0.125, mvcc.RMW, 8))
 		lazy := mvcc.Run(mvcc.NewMachineFrom(lp), o.mvccCfg(true, 0.125, mvcc.RMW, 8))
-		chans.AddRow(ch, base.ThroughputKOps(), lazy.ThroughputKOps())
+		chans.AddRow(ch, base.ThroughputKOpsAt(o.clock()), lazy.ThroughputKOpsAt(o.clock()))
 	}
 
 	xcon := stats.NewTable("Scaling: MVCC 8-thread throughput (kOps/s) vs interconnect bandwidth",
@@ -215,7 +215,7 @@ func Scaling(o Options) []*stats.Table {
 		bp.XConBytesPerCycle, lp.XConBytesPerCycle = bw, bw
 		base := mvcc.Run(mvcc.NewMachineFrom(bp), o.mvccCfg(false, 0.125, mvcc.RMW, 8))
 		lazy := mvcc.Run(mvcc.NewMachineFrom(lp), o.mvccCfg(true, 0.125, mvcc.RMW, 8))
-		xcon.AddRow(label, base.ThroughputKOps(), lazy.ThroughputKOps())
+		xcon.AddRow(label, base.ThroughputKOpsAt(o.clock()), lazy.ThroughputKOpsAt(o.clock()))
 	}
 	return []*stats.Table{chans, xcon}
 }

@@ -14,12 +14,12 @@ import (
 
 // renderFigure decomposes a generator, runs its jobs on the given worker
 // count, merges, and renders the result — exactly the cmd/mcfigures path.
-func renderFigure(t *testing.T, g Generator, workers int) string {
+func renderFigure(t *testing.T, g Generator, workers int, o Options) string {
 	t.Helper()
-	set := g.Jobs(Options{Quick: true})
+	set := g.Jobs(o)
 	results := runner.Run(runner.Config{
 		Workers: workers,
-		Options: runner.Options{Quick: true},
+		Options: runner.Options{Quick: o.Quick},
 	}, set.Jobs)
 	parts := make([][]*stats.Table, len(results))
 	for i, r := range results {
@@ -49,7 +49,7 @@ func TestParallelDeterminism(t *testing.T) {
 		ids = []string{"2", "20"}
 	}
 	if os.Getenv("MCFIG_DETERMINISM_ALL") != "" {
-		ids = append(ids, "16", "17")
+		ids = append(ids, "16", "17", "fleet")
 	}
 	workers := runtime.NumCPU()
 	if workers < 4 {
@@ -62,8 +62,8 @@ func TestParallelDeterminism(t *testing.T) {
 			if !ok {
 				t.Fatalf("unknown figure %s", id)
 			}
-			serial := renderFigure(t, g, 1)
-			parallel := renderFigure(t, g, workers)
+			serial := renderFigure(t, g, 1, Options{Quick: true})
+			parallel := renderFigure(t, g, workers, Options{Quick: true})
 			if serial != parallel {
 				t.Fatalf("figure %s output differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
 					id, workers, serial, parallel)

@@ -55,6 +55,12 @@ func (o Options) spec() config.MachineSpec {
 // params lowers the base spec under the named mechanism.
 func (o Options) params(mech string) machine.Params { return specParams(o.spec(), mech) }
 
+// clock is the base spec's core clock, for cycle→wall-time conversions.
+// The Table I default (4 GHz) reproduces the legacy hardcoded conversion
+// byte-for-byte; a -set ClockGHz=2 spec now scales wall-clock columns
+// instead of silently reporting 4 GHz numbers.
+func (o Options) clock() stats.Clock { return stats.Clock(o.spec().ClockGHz) }
+
 // copier builds the named mechanism for m through the registry.
 func (o Options) copier(mech string, m *machine.Machine) copykit.Copier {
 	return specCopier(o.spec(), mech, m)
@@ -345,7 +351,7 @@ func Figure14(o Options) []*stats.Table {
 	for _, mech := range figure14Mechs() {
 		m := protobuf.NewMachineFrom(o.params(mech))
 		res := protobuf.Run(m, o.protoCfg(o.copier(mech, m)))
-		tb.AddRow(mech, stats.CyclesToMs(uint64(res.Cycles)))
+		tb.AddRow(mech, o.clock().CyclesToMs(uint64(res.Cycles)))
 	}
 	return []*stats.Table{tb}
 }
@@ -356,7 +362,7 @@ func Figure15(o Options) []*stats.Table {
 	for _, mech := range figure14Mechs() {
 		m := mongo.NewMachineFrom(o.params(mech))
 		res := mongo.Run(m, o.mongoCfg(o.copier(mech, m)))
-		tb.AddRow(mech, res.AvgInsertMs())
+		tb.AddRow(mech, res.AvgInsertMsAt(o.clock()))
 	}
 	return []*stats.Table{tb}
 }
@@ -380,10 +386,10 @@ func mvccRow(o Options, spec config.MachineSpec, mode mvcc.Mode, threads int, f 
 	tb := mvccTable(mode, threads, withNT)
 	base := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "baseline")), o.mvccCfg(false, f, mode, threads))
 	lazy := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "mc2")), o.mvccCfg(true, f, mode, threads))
-	row := []interface{}{f, base.ThroughputKOps(), lazy.ThroughputKOps()}
+	row := []interface{}{f, base.ThroughputKOpsAt(o.clock()), lazy.ThroughputKOpsAt(o.clock())}
 	if withNT {
 		nt := mvcc.Run(mvcc.NewMachineFrom(specParams(spec, "mc2")), o.mvccCfg(true, f, mvcc.WriteOnlyNT, threads))
-		row = append(row, nt.ThroughputKOps())
+		row = append(row, nt.ThroughputKOpsAt(o.clock()))
 	}
 	tb.AddRow(row...)
 	return tb
@@ -538,7 +544,7 @@ func figure20Sweep(o Options) SweepSpec {
 			res := protobuf.Run(m, o.protoCfg(specCopier(spec, "mc2", m)))
 			tb := stats.NewTable("Figure 20 cell", "entries", "threshold", "runtime_ms", "stall_cycles")
 			tb.AddRow(pt[0].Value.(int), pt[1].Value.(float64),
-				stats.CyclesToMs(uint64(res.Cycles)), float64(m.Metrics.CounterValue("engine.lazy_stall_cycles")))
+				o.clock().CyclesToMs(uint64(res.Cycles)), float64(m.Metrics.CounterValue("engine.lazy_stall_cycles")))
 			return tables(tb)
 		},
 		Merge: figure20Merge,
@@ -640,7 +646,7 @@ func figure22Row(o Options, th int, frees []int, ctt int) *stats.Table {
 		p.Lazy.CTTCapacity = ctt
 		p.Lazy.ParallelFrees = fr
 		lazy := mvcc.Run(mvcc.NewMachineFrom(p), o.mvccCfg(true, 0.125, mvcc.RMW, th))
-		row = append(row, lazy.ThroughputKOps()/base.ThroughputKOps())
+		row = append(row, lazy.ThroughputKOpsAt(o.clock())/base.ThroughputKOpsAt(o.clock()))
 	}
 	tb.AddRow(row...)
 	return tb
@@ -678,7 +684,7 @@ func Table1(o Options) []*stats.Table {
 	tb := stats.NewTable("Table I: simulated configuration", "parameter", "value")
 	rows := [][2]string{
 		{"CPUs", fmt.Sprintf("%d", p.Cores)},
-		{"Clock speed", "4 GHz"},
+		{"Clock speed", fmt.Sprintf("%g GHz", o.spec().ClockGHz)},
 		{"Private L1 cache", fmt.Sprintf("%d KB/CPU, stride prefetcher", p.Cache.L1Size>>10)},
 		{"Shared L2 cache", fmt.Sprintf("%d MB, stride prefetcher", p.Cache.L2Size>>20)},
 		{"DRAM channels", fmt.Sprintf("%d", p.Channels)},

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"fmt"
+
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
 )
@@ -61,7 +63,12 @@ func concatParts(parts [][]*stats.Table) []*stats.Table {
 	first := parts[0][0]
 	out := stats.NewTable(first.Title, first.Columns...)
 	for _, p := range parts {
-		out.AppendRows(p[0])
+		// Cells are authored in code and emit the canonical header; a width
+		// mismatch is a programming error, surfaced with its structured
+		// detail rather than silently truncating the merged figure.
+		if err := out.AppendRows(p[0]); err != nil {
+			panic(fmt.Sprintf("figures: merge: %v", err))
+		}
 	}
 	return tables(out)
 }

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"container/heap"
+	"math"
+	"strconv"
+
+	"mcsquare/internal/metrics"
+	"mcsquare/internal/stats"
+)
+
+// Result is one simulated operating point of the fleet.
+type Result struct {
+	Mechanism string
+	Machines  int
+	Clock     stats.Clock
+
+	OfferedReqPerCycle float64
+	CapacityKOps       float64
+
+	Offered   uint64 // requests generated
+	Completed uint64 // requests served to completion
+	Dropped   uint64 // arrivals rejected by a full queue
+
+	// Latencies is end-to-end request latency in cycles (queueing + service),
+	// in completion order; PerWorkload splits it by mix entry.
+	Latencies   *stats.Histogram
+	PerWorkload map[string]*stats.Histogram
+
+	// MeanQueueDepth is the fleet-wide queued-request count averaged over
+	// arrival instants; MaxQueueDepth is its per-arrival maximum.
+	MeanQueueDepth float64
+	MaxQueueDepth  int
+
+	// Served counts completions per machine (stable machine index).
+	Served []uint64
+
+	// DurationCycles spans the first arrival to the last completion.
+	DurationCycles float64
+}
+
+// OfferedKOps is the offered load in thousands of requests per second.
+func (r *Result) OfferedKOps() float64 {
+	return r.OfferedReqPerCycle * r.Clock.CyclesPerSecond() / 1e3
+}
+
+// GoodputKOps is the completed-request throughput in thousands of requests
+// per second over the run's duration.
+func (r *Result) GoodputKOps() float64 {
+	if r.DurationCycles == 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.DurationCycles * r.Clock.CyclesPerSecond() / 1e3
+}
+
+// PercentileMs reads the end-to-end latency percentile in milliseconds at
+// the fleet's clock.
+func (r *Result) PercentileMs(p float64) float64 {
+	return r.Latencies.Percentile(p) / (float64(r.Clock.CyclesPerSecond()) / 1e3)
+}
+
+// request is one generated arrival. Its random draws (workload, service
+// sample index, hash key) happen at generation time in arrival order, so
+// the stream is identical no matter which machines end up serving it.
+type request struct {
+	arrive  float64
+	wl      int    // mix entry index
+	sample  int    // index into the serving machine's sample vector
+	hashKey uint64 // consistent-hash routing key
+}
+
+// completion is a scheduled request finish on a machine.
+type completion struct {
+	at  float64
+	seq uint64 // tie-break: scheduling order
+	m   int
+	req request
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// machineState is one machine's runtime queueing state.
+type machineState struct {
+	free  int // idle servers
+	busy  int
+	queue []request // FIFO
+}
+
+func (m *machineState) outstanding() int { return m.busy + len(m.queue) }
+
+// Simulate drives the calibrated fleet with an open-loop arrival stream at
+// the given offered rate (requests per cycle) and returns the operating
+// point. The whole pass is a single-threaded seeded event loop:
+// byte-identical output for identical inputs.
+func (f *Fleet) Simulate(cal *Calibration, rate float64) *Result {
+	res := &Result{
+		Mechanism:          cal.Mechanism,
+		Machines:           len(f.Specs),
+		Clock:              f.Clock,
+		OfferedReqPerCycle: rate,
+		CapacityKOps:       f.CapacityKOps(cal),
+		Latencies:          &stats.Histogram{},
+		PerWorkload:        map[string]*stats.Histogram{},
+		Served:             make([]uint64, len(f.Specs)),
+	}
+	for _, mx := range f.Block.Mix {
+		res.PerWorkload[mx.Workload] = &stats.Histogram{}
+	}
+	n := f.Block.Requests
+	if f.Quick {
+		n = (n + 3) / 4
+	}
+	if n <= 0 || rate <= 0 {
+		return res
+	}
+
+	rnd := f.rng()
+	cum := make([]float64, len(cal.weights))
+	s := 0.0
+	for i, w := range cal.weights {
+		s += w
+		cum[i] = s
+	}
+
+	// The arrival stream: every random draw happens here, in order.
+	arrivals := make([]request, n)
+	now := 0.0
+	for i := range arrivals {
+		switch f.Block.Arrival.Process {
+		case "trace":
+			gaps := f.Block.Arrival.GapsCycles
+			now += gaps[i%len(gaps)]
+		default: // poisson: exponential gaps at the offered rate
+			now += rnd.ExpFloat64() / rate
+		}
+		u := rnd.Float64() * s
+		wl := 0
+		for u > cum[wl] && wl < len(cum)-1 {
+			wl++
+		}
+		arrivals[i] = request{arrive: now, wl: wl, sample: rnd.Intn(1 << 30), hashKey: rnd.Uint64()}
+	}
+	res.Offered = uint64(n)
+
+	machines := make([]machineState, len(cal.machines))
+	for i := range machines {
+		machines[i].free = cal.machines[i].servers
+	}
+	var (
+		pending  completionHeap
+		seq      uint64
+		rrNext   int
+		depthSum float64
+		lastDone float64
+	)
+	service := func(m int, r request) float64 {
+		v := cal.machines[m].samples[r.wl]
+		return v[r.sample%len(v)]
+	}
+	start := func(at float64, m int, r request) {
+		machines[m].free--
+		machines[m].busy++
+		heap.Push(&pending, completion{at: at + service(m, r), seq: seq, m: m, req: r})
+		seq++
+	}
+	finish := func(c completion) {
+		st := &machines[c.m]
+		st.free++
+		st.busy--
+		res.Completed++
+		res.Served[c.m]++
+		lat := c.at - c.req.arrive
+		res.Latencies.Add(lat)
+		res.PerWorkload[f.Block.Mix[c.req.wl].Workload].Add(lat)
+		if c.at > lastDone {
+			lastDone = c.at
+		}
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			start(c.at, c.m, next)
+		}
+	}
+	route := func(r request) int {
+		switch f.Block.LB {
+		case "rr":
+			m := rrNext % len(machines)
+			rrNext++
+			return m
+		case "hash":
+			return int(r.hashKey % uint64(len(machines)))
+		default: // least outstanding, ties to the lowest index
+			best, bestOut := 0, math.MaxInt
+			for i := range machines {
+				if out := machines[i].outstanding(); out < bestOut {
+					best, bestOut = i, out
+				}
+			}
+			return best
+		}
+	}
+
+	for _, r := range arrivals {
+		// Completions scheduled before (or exactly at) this arrival land
+		// first, so balancer state reflects them — and the order is still
+		// deterministic because the heap breaks time ties by schedule order.
+		for len(pending) > 0 && pending[0].at <= r.arrive {
+			finish(heap.Pop(&pending).(completion))
+		}
+		depth := 0
+		for i := range machines {
+			depth += len(machines[i].queue)
+		}
+		depthSum += float64(depth)
+		if depth > res.MaxQueueDepth {
+			res.MaxQueueDepth = depth
+		}
+		m := route(r)
+		st := &machines[m]
+		switch {
+		case st.free > 0:
+			start(r.arrive, m, r)
+		case len(st.queue) < f.Block.QueueCap:
+			st.queue = append(st.queue, r)
+		default:
+			res.Dropped++
+		}
+	}
+	for len(pending) > 0 {
+		finish(heap.Pop(&pending).(completion))
+	}
+	res.MeanQueueDepth = depthSum / float64(n)
+	res.DurationCycles = lastDone - arrivals[0].arrive
+	res.publishMetrics()
+	return res
+}
+
+// publishMetrics registers the run's counters and SLO histogram with the
+// ambient metrics collector (the runner binds one per job), under the
+// fleet scope. A run outside any collector skips this.
+func (r *Result) publishMetrics() {
+	col := metrics.AmbientCollector()
+	if col == nil {
+		return
+	}
+	reg := metrics.NewRegistry()
+	s := reg.Scope("fleet")
+	s.Counter("offered", &r.Offered)
+	s.Counter("completed", &r.Completed)
+	s.Counter("dropped", &r.Dropped)
+	s.Gauge("goodput_kops", r.GoodputKOps)
+	s.Gauge("mean_queue_depth", func() float64 { return r.MeanQueueDepth })
+	s.Histogram("latency_cycles", r.Latencies)
+	for i := range r.Served {
+		i := i
+		s.Scope("machine").CounterFunc(
+			"served_"+strconv.Itoa(i), func() uint64 { return r.Served[i] })
+	}
+	col.Add(reg)
+}

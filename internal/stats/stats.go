@@ -14,15 +14,22 @@ import (
 
 // Histogram accumulates individual samples (e.g. per-operation latencies in
 // cycles). The zero value is ready to use.
+//
+// The sample slice is kept in insertion order forever; order statistics
+// (Percentile, Min, Max, CDF) work on a lazily maintained sorted copy. An
+// earlier implementation sorted h.samples in place, so any Percentile call
+// silently reordered what Samples() returned afterwards — a contract
+// violation consumers (access-order figures, fleet service-time replay)
+// could not detect.
 type Histogram struct {
-	samples []float64
-	sorted  bool
+	samples []float64 // insertion order, never reordered
+	sorted  []float64 // lazily built sorted copy; nil when stale
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
 	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.sorted = nil
 }
 
 // N returns the number of samples.
@@ -54,8 +61,7 @@ func (h *Histogram) Min() float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sort()
-	return h.samples[0]
+	return h.sortedView()[0]
 }
 
 // Max returns the largest sample (0 with no samples).
@@ -63,8 +69,8 @@ func (h *Histogram) Max() float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sort()
-	return h.samples[len(h.samples)-1]
+	s := h.sortedView()
+	return s[len(s)-1]
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
@@ -72,45 +78,48 @@ func (h *Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sort()
+	s := h.sortedView()
 	if p <= 0 {
-		return h.samples[0]
+		return s[0]
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return s[len(s)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return h.samples[rank]
+	return s[rank]
 }
 
-// Samples returns a copy of the raw samples in insertion order.
+// Samples returns a copy of the raw samples in insertion order, regardless
+// of any order statistics computed in between.
 func (h *Histogram) Samples() []float64 {
-	// sort() may have reordered; keep a stable answer by re-sorting copies
-	// only. We store insertion order separately if unsorted.
 	out := make([]float64, len(h.samples))
 	copy(out, h.samples)
 	return out
 }
 
-func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+// sortedView returns the sorted copy of the samples, (re)building it only
+// when samples were added since the last order statistic.
+func (h *Histogram) sortedView() []float64 {
+	if h.sorted == nil {
+		h.sorted = make([]float64, len(h.samples))
+		copy(h.sorted, h.samples)
+		sort.Float64s(h.sorted)
 	}
+	return h.sorted
 }
 
 // CDF returns, for each of the given thresholds, the fraction of samples
 // less than or equal to it (the paper's Fig 4 shape).
 func (h *Histogram) CDF(thresholds []float64) []float64 {
-	h.sort()
+	s := h.sortedView()
 	out := make([]float64, len(thresholds))
 	for i, t := range thresholds {
-		idx := sort.SearchFloat64s(h.samples, math.Nextafter(t, math.Inf(1)))
-		if len(h.samples) > 0 {
-			out[i] = float64(idx) / float64(len(h.samples))
+		idx := sort.SearchFloat64s(s, math.Nextafter(t, math.Inf(1)))
+		if len(s) > 0 {
+			out[i] = float64(idx) / float64(len(s))
 		}
 	}
 	return out
@@ -172,27 +181,51 @@ func (t *Table) Float(row, col int) (float64, bool) {
 	return 0, false
 }
 
+// RowWidthError reports a row that does not match the destination table's
+// column count during a merge. It carries enough structure for callers (the
+// figure merges assembling sweep cells) to say exactly which part broke.
+type RowWidthError struct {
+	Table string // destination table title
+	Part  string // source table title
+	Row   int    // row index within the source part
+	Want  int    // destination column count
+	Have  int    // offending row's cell count
+}
+
+func (e *RowWidthError) Error() string {
+	return fmt.Sprintf("stats: appending %d-cell row (row %d of %q) to %d-column table %q",
+		e.Have, e.Row, e.Part, e.Want, e.Table)
+}
+
 // AppendRows appends every row of the given tables, in order, preserving
-// raw values. Parts narrower than t are allowed (trailing cells empty is a
-// bug the caller owns); parts wider panic.
-func (t *Table) AppendRows(parts ...*Table) {
+// raw values. Every row must match the destination's column count exactly;
+// a mismatch — wider or narrower — returns a *RowWidthError and appends
+// nothing. (Narrower rows used to be accepted silently, leaving truncated
+// lines in merged figures; now the producer's bug surfaces at merge time.)
+func (t *Table) AppendRows(parts ...*Table) error {
 	for _, p := range parts {
-		for _, row := range p.rows {
-			if len(row) > len(t.Columns) {
-				panic(fmt.Sprintf("stats: appending %d-cell row to %d-column table %q",
-					len(row), len(t.Columns), t.Title))
+		for i, row := range p.rows {
+			if len(row) != len(t.Columns) {
+				return &RowWidthError{Table: t.Title, Part: p.Title, Row: i,
+					Want: len(t.Columns), Have: len(row)}
 			}
-			t.rows = append(t.rows, row)
 		}
 	}
+	for _, p := range parts {
+		t.rows = append(t.rows, p.rows...)
+	}
+	return nil
 }
 
 // Concat builds a table with the given title and columns holding the rows
 // of each part in submission order. It is the canonical merge for sweep
-// figures whose rows are computed as independent jobs.
+// figures whose rows are computed as independent jobs. Parts are authored
+// in code, so a width mismatch panics with the *RowWidthError detail.
 func Concat(title string, columns []string, parts ...*Table) *Table {
 	t := NewTable(title, columns...)
-	t.AppendRows(parts...)
+	if err := t.AppendRows(parts...); err != nil {
+		panic(err.Error())
+	}
 	return t
 }
 
@@ -242,11 +275,37 @@ func formatFloat(f float64) string {
 	return fmt.Sprintf("%.4g", f)
 }
 
-// CyclesToNs converts cycles at the simulated 4 GHz clock to nanoseconds.
-func CyclesToNs(cycles uint64) float64 { return float64(cycles) / 4.0 }
+// Clock converts simulated cycles to wall time for a CPU frequency in GHz.
+// Construct it from the machine spec's ClockGHz (cliutil.SpecClock); the
+// package-level CyclesToNs/CyclesToMs helpers are the DefaultClock
+// shorthand and are only correct for specs that keep the Table I clock.
+type Clock float64
 
-// CyclesToMs converts cycles at 4 GHz to milliseconds.
-func CyclesToMs(cycles uint64) float64 { return float64(cycles) / 4e6 }
+// DefaultClock is the paper's Table I frequency.
+const DefaultClock Clock = 4
+
+// orDefault guards hand-built zero values; specs validate ClockGHz > 0.
+func (c Clock) orDefault() float64 {
+	if c <= 0 {
+		return float64(DefaultClock)
+	}
+	return float64(c)
+}
+
+// CyclesToNs converts cycles at this clock to nanoseconds.
+func (c Clock) CyclesToNs(cycles uint64) float64 { return float64(cycles) / c.orDefault() }
+
+// CyclesToMs converts cycles at this clock to milliseconds.
+func (c Clock) CyclesToMs(cycles uint64) float64 { return float64(cycles) / (c.orDefault() * 1e6) }
+
+// CyclesPerSecond returns the clock rate in cycles per second.
+func (c Clock) CyclesPerSecond() float64 { return c.orDefault() * 1e9 }
+
+// CyclesToNs converts cycles at the default 4 GHz clock to nanoseconds.
+func CyclesToNs(cycles uint64) float64 { return DefaultClock.CyclesToNs(cycles) }
+
+// CyclesToMs converts cycles at the default 4 GHz clock to milliseconds.
+func CyclesToMs(cycles uint64) float64 { return DefaultClock.CyclesToMs(cycles) }
 
 // Speedup formats new vs old as a multiplicative factor (old/new).
 func Speedup(oldV, newV float64) float64 {

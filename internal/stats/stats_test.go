@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -178,16 +180,100 @@ func TestConcatAndAppendRows(t *testing.T) {
 	}
 }
 
-func TestAppendRowsWidthPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("appending a wider row did not panic")
-		}
-	}()
+// TestAppendRowsWidthError pins the structured-error contract: rows wider
+// OR narrower than the destination are rejected with a *RowWidthError, and
+// nothing is appended (the old code silently accepted narrower rows,
+// leaving truncated lines in merged figures).
+func TestAppendRowsWidthError(t *testing.T) {
 	narrow := NewTable("narrow", "a")
 	wide := NewTable("wide", "a", "b")
 	wide.AddRow(1, 2)
-	narrow.AppendRows(wide)
+	err := narrow.AppendRows(wide)
+	var rwe *RowWidthError
+	if !errors.As(err, &rwe) {
+		t.Fatalf("appending a wider row: err = %v, want *RowWidthError", err)
+	}
+	if rwe.Want != 1 || rwe.Have != 2 || rwe.Part != "wide" || rwe.Row != 0 {
+		t.Fatalf("wider-row error detail = %+v", rwe)
+	}
+
+	dst := NewTable("dst", "a", "b")
+	ok := NewTable("ok", "a", "b")
+	ok.AddRow(1, 2)
+	short := NewTable("short", "a")
+	short.AddRow(9)
+	err = dst.AppendRows(ok, short)
+	if !errors.As(err, &rwe) {
+		t.Fatalf("appending a narrower row: err = %v, want *RowWidthError", err)
+	}
+	if rwe.Want != 2 || rwe.Have != 1 || rwe.Part != "short" {
+		t.Fatalf("narrower-row error detail = %+v", rwe)
+	}
+	// The failed call is atomic: not even the valid part landed.
+	if dst.NumRows() != 0 {
+		t.Fatalf("failed AppendRows appended %d row(s)", dst.NumRows())
+	}
+}
+
+// TestSamplesInsertionOrder is the regression test for the Samples()
+// contract: order statistics in between must not reorder what Samples
+// returns (the old implementation sorted h.samples in place).
+func TestSamplesInsertionOrder(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{3, 1, 2} {
+		h.Add(v)
+	}
+	if p := h.Percentile(50); p != 2 {
+		t.Fatalf("P50 = %v, want 2", p)
+	}
+	if got := h.Samples(); !reflect.DeepEqual(got, []float64{3, 1, 2}) {
+		t.Fatalf("Samples() after Percentile = %v, want insertion order [3 1 2]", got)
+	}
+	if m := h.Min(); m != 1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if got := h.Samples(); !reflect.DeepEqual(got, []float64{3, 1, 2}) {
+		t.Fatalf("Samples() after Min = %v, want insertion order [3 1 2]", got)
+	}
+	// Adding after an order statistic invalidates the sorted view.
+	h.Add(0)
+	if m := h.Min(); m != 0 {
+		t.Fatalf("Min after Add = %v, want 0", m)
+	}
+	if got := h.Samples(); !reflect.DeepEqual(got, []float64{3, 1, 2, 0}) {
+		t.Fatalf("Samples() after Add+Min = %v", got)
+	}
+	if cdf := h.CDF([]float64{1.5}); cdf[0] != 0.5 {
+		t.Fatalf("CDF(1.5) = %v, want 0.5", cdf[0])
+	}
+	if got := h.Samples(); !reflect.DeepEqual(got, []float64{3, 1, 2, 0}) {
+		t.Fatalf("Samples() after CDF = %v", got)
+	}
+}
+
+// TestClockConversions pins the clock-aware converter: default 4 GHz is
+// byte-compatible with the legacy helpers, and a slow clock scales
+// wall-time summaries accordingly (the old hardcoded conversion reported
+// 2 GHz machines as twice as fast as they are).
+func TestClockConversions(t *testing.T) {
+	if DefaultClock.CyclesToNs(4) != CyclesToNs(4) || DefaultClock.CyclesToMs(4e6) != CyclesToMs(4e6) {
+		t.Fatal("DefaultClock diverges from the legacy 4 GHz helpers")
+	}
+	slow := Clock(2)
+	if got := slow.CyclesToNs(4); got != 2 {
+		t.Fatalf("2 GHz: 4 cycles = %v ns, want 2", got)
+	}
+	if got := slow.CyclesToMs(8e6); got != 4 {
+		t.Fatalf("2 GHz: 8M cycles = %v ms, want 4", got)
+	}
+	if got := slow.CyclesPerSecond(); got != 2e9 {
+		t.Fatalf("2 GHz: CyclesPerSecond = %v", got)
+	}
+	// Hand-built zero clocks fall back to the Table I default rather than
+	// dividing by zero.
+	if got := Clock(0).CyclesToNs(4); got != 1 {
+		t.Fatalf("zero clock: 4 cycles = %v ns, want 1", got)
+	}
 }
 
 func TestFormatFloatStability(t *testing.T) {

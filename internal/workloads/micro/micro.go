@@ -118,7 +118,9 @@ func CopyLatency(opt Options) *stats.Table {
 	opt = opt.withDefaults()
 	tb := copyLatencyTable()
 	for _, size := range Sizes10(opt.MaxSize) {
-		tb.AppendRows(CopyLatencyRow(opt, size))
+		if err := tb.AppendRows(CopyLatencyRow(opt, size)); err != nil {
+			panic(err.Error()) // rows share copyLatencyTable's header by construction
+		}
 	}
 	return tb
 }

@@ -67,7 +67,12 @@ type Result struct {
 
 // AvgInsertMs returns the mean insert latency in milliseconds.
 func (r Result) AvgInsertMs() float64 {
-	return stats.CyclesToMs(uint64(r.Latencies.Mean()))
+	return r.AvgInsertMsAt(stats.DefaultClock)
+}
+
+// AvgInsertMsAt is the clock-aware AvgInsertMs.
+func (r Result) AvgInsertMsAt(clock stats.Clock) float64 {
+	return clock.CyclesToMs(uint64(r.Latencies.Mean()))
 }
 
 // NewMachine builds a machine sized for this workload.

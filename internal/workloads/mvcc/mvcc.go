@@ -16,6 +16,7 @@ import (
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/softmc"
+	"mcsquare/internal/stats"
 )
 
 // Mode selects how updates write the modified fraction.
@@ -61,17 +62,24 @@ func (c Config) withDefaults() Config {
 
 // Result reports transaction throughput.
 type Result struct {
-	Cycles sim.Cycle
-	Ops    int
+	Cycles    sim.Cycle
+	Ops       int
+	Latencies *stats.Histogram // per-transaction cycles, in commit order
 }
 
 // ThroughputKOps returns committed transactions per second, in thousands,
 // at the simulated 4 GHz clock.
 func (r Result) ThroughputKOps() float64 {
+	return r.ThroughputKOpsAt(stats.DefaultClock)
+}
+
+// ThroughputKOpsAt is the clock-aware ThroughputKOps: committed
+// transactions per second, in thousands, at the given core clock.
+func (r Result) ThroughputKOpsAt(clock stats.Clock) float64 {
 	if r.Cycles == 0 {
 		return 0
 	}
-	seconds := float64(r.Cycles) / 4e9
+	seconds := float64(r.Cycles) / clock.CyclesPerSecond()
 	return float64(r.Ops) / seconds / 1e3
 }
 
@@ -107,6 +115,9 @@ func Run(m *machine.Machine, cfg Config) Result {
 		m.FillRandom(cur[i], cfg.RowSize, cfg.Seed+int64(i))
 	}
 
+	// Per-thread latency histograms merged after the run, so recording
+	// order never depends on how the engine interleaves cores.
+	lats := make([]stats.Histogram, cfg.Threads)
 	workers := make([]func(c *cpu.Core), cfg.Threads)
 	rowsPer := cfg.Rows / cfg.Threads
 	for tIdx := 0; tIdx < cfg.Threads; tIdx++ {
@@ -117,6 +128,7 @@ func Run(m *machine.Machine, cfg Config) Result {
 			touched := uint64(cfg.UpdateFraction * float64(cfg.RowSize))
 			line := make([]byte, memdata.LineSize)
 			for op := 0; op < cfg.OpsPerThread; op++ {
+				t0 := c.Now()
 				row := lo + rnd.Intn(rowsPer)
 				if rnd.Intn(2) == 0 {
 					// Read transaction: scan the current version.
@@ -124,6 +136,7 @@ func Run(m *machine.Machine, cfg Config) Result {
 						c.LoadAsync(cur[row]+memdata.Addr(off), 8)
 					}
 					c.Fence()
+					lats[tIdx].Add(float64(c.Now() - t0))
 					continue
 				}
 				// Update transaction: version copy, then modify a fraction.
@@ -151,9 +164,16 @@ func Run(m *machine.Machine, cfg Config) Result {
 				c.Fence()
 				// Commit: swap version pointers.
 				cur[row], spare[row] = spare[row], cur[row]
+				lats[tIdx].Add(float64(c.Now() - t0))
 			}
 		}
 	}
 	cycles := m.Run(workers...)
-	return Result{Cycles: cycles, Ops: cfg.Threads * cfg.OpsPerThread}
+	all := &stats.Histogram{}
+	for i := range lats {
+		for _, v := range lats[i].Samples() {
+			all.Add(v)
+		}
+	}
+	return Result{Cycles: cycles, Ops: cfg.Threads * cfg.OpsPerThread, Latencies: all}
 }

@@ -71,6 +71,7 @@ type Result struct {
 	Copies     uint64
 	CopiedByte uint64
 	Sizes      *stats.Histogram // copy sizes (Fig 4)
+	Latencies  *stats.Histogram // per-merge-op cycles (field copies + compute), in issue order
 
 	// Fig 3 counters, sampled over the copy phases only.
 	CopyAccesses  uint64 // loads + stores issued during copies
@@ -86,7 +87,7 @@ func Run(m *machine.Machine, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	rnd := rand.New(rand.NewSource(cfg.Seed))
 	sizes := trace.NewFig4Sampler(cfg.Seed + 1)
-	res := Result{Sizes: &stats.Histogram{}}
+	res := Result{Sizes: &stats.Histogram{}, Latencies: &stats.Histogram{}}
 
 	// Source corpus: enough messages that field reads miss the L2, as the
 	// paper's trace-driven runs do (>25% miss rate during memcpy, Fig 3).
@@ -119,6 +120,7 @@ func Run(m *machine.Machine, cfg Config) Result {
 			cursor := arena
 			merged := make([][]field, burst)
 			for op := 0; op < burst; op++ {
+				op0 := c.Now()
 				nf := cfg.MinFields + rnd.Intn(cfg.MaxFields-cfg.MinFields+1)
 				for f := 0; f < nf; f++ {
 					size := sizes.Sample()
@@ -143,6 +145,7 @@ func Run(m *machine.Machine, cfg Config) Result {
 					cursor += memdata.Addr(size)
 				}
 				c.Compute(cfg.ComputePerOp)
+				res.Latencies.Add(float64(c.Now() - op0))
 			}
 
 			// Access phase: deserialize a fraction of what was merged.
