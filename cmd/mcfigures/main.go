@@ -17,6 +17,7 @@
 //	mcfigures -jobs 8              # worker pool size (default: NumCPU)
 //	mcfigures -list                # list available figures
 //	mcfigures -trace t.json        # Chrome/Perfetto transaction trace
+//	mcfigures -timeline tl.csv     # cycle-windowed metric timeline (.csv/.json)
 //	mcfigures -config spec.json    # declarative machine spec for every figure
 //	mcfigures -set Channels=4      # spec field overrides (repeatable)
 //
@@ -28,6 +29,13 @@
 // the flight recorders into one Chrome trace-event JSON document in job
 // submission order, so the trace too is byte-identical at any -jobs value.
 // -trace-sample N records every Nth memory operation (1 = all).
+//
+// -timeline enables cycle-windowed metric sampling in every job's machines
+// and writes the merged timeline (recorders in job submission order) as CSV
+// or JSON by file suffix; -timeline-window overrides the window size. When
+// -trace and -timeline are both set, the trace document also carries the
+// timeline as Perfetto counter tracks. Both exports are byte-identical at
+// any -jobs value.
 //
 // -faults injects a deterministic fault schedule (a bare seed like 0xC0FFEE
 // or a schedule JSON file) into every job's machines; because each job binds
@@ -54,6 +62,7 @@ import (
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 )
 
@@ -76,6 +85,8 @@ func main() {
 		statsOut = flag.String("stats", "", "write run-wide aggregated metrics (merged over all jobs) as JSON to this file; - for stdout")
 		traceOut = flag.String("trace", "", "enable transaction tracing and write a Chrome/Perfetto trace-event JSON to this file; - for stdout")
 		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
+		tlOut    = flag.String("timeline", "", "enable cycle-windowed metric sampling and write the merged timeline to this file (.csv or JSON); - for stdout")
+		tlWin    = flag.Uint64("timeline-window", 0, "with -timeline: sampling window in cycles (0 = spec's Timeline block, default 100000)")
 		faults   = flag.String("faults", "", "inject a deterministic fault schedule into every job: a seed (e.g. 0xC0FFEE) or a schedule JSON file")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles in every job; violations fail the job")
 		budget   = flag.Uint64("cycle-budget", 0, "fail any job whose simulation exceeds this many cycles (0 = unbounded)")
@@ -135,13 +146,19 @@ func main() {
 	}
 	icfg := cliutil.Invariants(*invar)
 
-	// Validate the trace destination before any job runs: an unwritable
-	// path should fail in milliseconds, not after the whole sweep.
+	// Validate the trace and timeline destinations before any job runs: an
+	// unwritable path should fail in milliseconds, not after the whole sweep.
 	traceFile, err := cliutil.CreateOutput(*traceOut)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcfigures: -trace: %v\n", err)
 		os.Exit(1)
 	}
+	tlFile, err := cliutil.CreateOutput(*tlOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfigures: -timeline: %v\n", err)
+		os.Exit(1)
+	}
+	tlcfg := cliutil.TimelineConfig(spec, *tlOut, *tlWin, false)
 
 	// Decompose every figure into jobs up front, then run the whole batch
 	// on one pool: datapoints of different figures overlap freely.
@@ -161,6 +178,7 @@ func main() {
 		Options:     runner.Options{Quick: *quick},
 		Progress:    os.Stderr,
 		Trace:       txtrace.Config{Enabled: *traceOut != "", SampleEvery: *traceN},
+		Timeline:    tlcfg,
 		Faults:      fsched,
 		Invariants:  icfg,
 		CycleBudget: *budget,
@@ -218,15 +236,30 @@ func main() {
 			errs = append(errs, err)
 		}
 	}
+	// Tracers and timeline recorders concatenated in job submission order,
+	// machines in construction order within a job: deterministic at any
+	// -jobs value. When both planes ran, each machine's tracer and recorder
+	// land at the same index, so the merged Perfetto export shares pids.
+	var recs []*timeline.Recorder
+	if tlcfg.Enabled {
+		for _, r := range results {
+			recs = append(recs, r.Timeline...)
+		}
+	}
 	if traceFile != nil {
-		// Tracers concatenated in job submission order, machines in
-		// construction order within a job: deterministic at any -jobs value.
 		var tracers []*txtrace.Tracer
 		for _, r := range results {
 			tracers = append(tracers, r.Trace...)
 		}
-		if err := exportTrace(traceFile, *traceOut, tracers); err != nil {
+		if err := exportTrace(traceFile, *traceOut, tracers, recs); err != nil {
 			errs = append(errs, err)
+		}
+	}
+	if tlFile != nil {
+		if err := timeline.Write(tlFile, *tlOut, recs); err != nil {
+			errs = append(errs, fmt.Errorf("-timeline %s: %w", *tlOut, err))
+		} else if err := cliutil.CloseOutput(tlFile); err != nil {
+			errs = append(errs, fmt.Errorf("-timeline %s: %w", *tlOut, err))
 		}
 	}
 	cycles := agg.Counter("sim.cycles")
@@ -258,9 +291,16 @@ func main() {
 	}
 }
 
-// exportTrace writes the merged trace document and closes the file.
-func exportTrace(f *os.File, path string, tracers []*txtrace.Tracer) error {
-	if err := txtrace.Export(f, tracers); err != nil {
+// exportTrace writes the merged trace document and closes the file. With
+// timeline recorders present the document also carries their counter tracks.
+func exportTrace(f *os.File, path string, tracers []*txtrace.Tracer, recs []*timeline.Recorder) error {
+	var err error
+	if len(recs) > 0 {
+		err = timeline.ExportPerfetto(f, tracers, recs)
+	} else {
+		err = txtrace.Export(f, tracers)
+	}
+	if err != nil {
 		if f != os.Stdout {
 			f.Close()
 		}

@@ -52,7 +52,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mcsquare/internal/cliutil"
 	"mcsquare/internal/config"
@@ -63,6 +65,7 @@ import (
 	"mcsquare/internal/machine"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 	"mcsquare/internal/workloads"
 	"mcsquare/internal/workloads/mongo"
@@ -79,6 +82,14 @@ type options struct {
 	frac    float64
 	size    uint64
 	quick   bool
+
+	// timelineFile/timelinePath/timelineCfg carry the -timeline destination
+	// to runFleet, which records its own event-loop timeline (fleetMode
+	// notes the run so single-workload timeline writing stays in main).
+	timelineFile *os.File
+	timelinePath string
+	timelineCfg  timeline.Config
+	fleetMode    bool
 }
 
 // runners maps catalog workload names to their entry points; the catalog
@@ -109,6 +120,9 @@ func main() {
 		traceN   = flag.Int("trace-sample", 1, "with -trace: record every Nth memory operation (1 = all)")
 		faults   = flag.String("faults", "", "inject a deterministic fault schedule: a seed (e.g. 0xC0FFEE) or a schedule JSON file")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant oracles (shadow memory, liveness watchdog, queue bounds); violations exit non-zero")
+		tlOut    = flag.String("timeline", "", "enable cycle-windowed metric sampling and write the timeline to this file (.csv, else JSON); - for stdout")
+		tlWin    = flag.Uint64("timeline-window", 0, "timeline sampling window in simulated cycles (0 = spec's Timeline block, or 100000)")
+		serve    = flag.String("serve", "", "serve a live inspection endpoint (/metrics, /timeline, /debug/pprof) on this address, e.g. :8080; stays up after the run until interrupted")
 	)
 	flag.Var(&sets, "set", "override one spec field (Path=value, e.g. -set Channels=4); repeatable, applied after -config")
 	flag.Parse()
@@ -162,9 +176,18 @@ func main() {
 		fatal("-trace: %v", err)
 	}
 
+	tlFile, err := cliutil.CreateOutput(*tlOut)
+	if err != nil {
+		fatal("-timeline: %v", err)
+	}
+
 	fsched, err := cliutil.ParseFaults(*faults)
 	if err != nil {
 		fatal("-faults: %v", err)
+	}
+	if fsched == nil && spec.Faults != nil {
+		// A schedule baked into the spec applies unless -faults overrides.
+		fsched = spec.Faults
 	}
 	icfg := cliutil.Invariants(*invar)
 
@@ -178,14 +201,38 @@ func main() {
 	releaseFaults := fcol.Bind()
 	icol := invariant.NewCollector(icfg)
 	releaseInv := icol.Bind()
+
+	// The timeline plane: per-machine recorders for single-workload runs;
+	// fleet mode records its own event-loop timeline instead (the spec's
+	// Timeline block, which -timeline/-timeline-window force on/override).
+	tlcfg := cliutil.TimelineConfig(spec, *tlOut, *tlWin, *serve != "")
+	var tlcol *timeline.Collector
+	if !*fleetRun {
+		tlcol = timeline.NewCollector(tlcfg)
+	}
+	releaseTl := tlcol.Bind()
+
+	var stopServe func()
+	if *serve != "" {
+		addr, stop, err := cliutil.Serve(*serve, &cliutil.ServeState{Metrics: col, Timeline: tlcol})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("serving http://%s  (/metrics /timeline /debug/pprof/)\n", addr)
+		stopServe = stop
+	}
+
 	run(options{
 		spec: spec, mech: mk,
 		threads: *threads, frac: *frac, size: *size, quick: *quick,
+		timelineFile: tlFile, timelinePath: *tlOut, timelineCfg: tlcfg, fleetMode: *fleetRun,
 	})
 	release()
 	releaseTrace()
 	releaseFaults()
 	releaseInv()
+	releaseTl()
+	tlcol.Finalize()
 
 	if fcol != nil {
 		fmt.Printf("faultinject: %d fault(s) fired (schedule seed %#x)\n",
@@ -205,17 +252,41 @@ func main() {
 	}
 
 	if traceFile != nil {
-		if err := tcol.Export(traceFile); err != nil {
-			fatal("-trace: %v", err)
+		// With the timeline on, merge its counter tracks into the span
+		// document so both render on one timebase.
+		var exportErr error
+		if tlcol != nil {
+			exportErr = timeline.ExportPerfetto(traceFile, tcol.Tracers(), tlcol.Recorders())
+		} else {
+			exportErr = tcol.Export(traceFile)
+		}
+		if exportErr != nil {
+			fatal("-trace: %v", exportErr)
 		}
 		if err := cliutil.CloseOutput(traceFile); err != nil {
 			fatal("-trace: %v", err)
+		}
+	}
+	if tlFile != nil && !*fleetRun {
+		if err := timeline.Write(tlFile, *tlOut, tlcol.Recorders()); err != nil {
+			fatal("-timeline: %v", err)
+		}
+		if err := cliutil.CloseOutput(tlFile); err != nil {
+			fatal("-timeline: %v", err)
 		}
 	}
 	if *statsOut != "" {
 		if err := cliutil.WriteStats(*statsOut, col.Snapshot()); err != nil {
 			fatal("%v", err)
 		}
+	}
+
+	if stopServe != nil {
+		fmt.Println("serve: run complete; endpoint stays live until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		stopServe()
 	}
 }
 
@@ -321,9 +392,23 @@ func resolveWorkload(name string, mk config.Mechanism) func(options) {
 }
 
 // runFleet is the -fleet smoke mode: calibrate and simulate the spec's
-// fleet block at its configured operating point.
+// fleet block at its configured operating point. The -timeline and
+// -timeline-window flags force the spec's Timeline block on so the fleet
+// event loop records its windowed telemetry.
 func runFleet(o options) {
-	res, err := fleet.Run(*o.spec, fleet.Options{Quick: o.quick})
+	spec := *o.spec
+	if o.timelineCfg.Enabled {
+		ts := config.TimelineSpec{}
+		if spec.Timeline != nil {
+			ts = *spec.Timeline
+		}
+		ts.Enabled = true
+		if o.timelineCfg.WindowCycles > 0 {
+			ts.WindowCycles = o.timelineCfg.WindowCycles
+		}
+		spec.Timeline = &ts
+	}
+	res, err := fleet.Run(spec, fleet.Options{Quick: o.quick})
 	if err != nil {
 		fatal("-fleet: %v", err)
 	}
@@ -334,6 +419,25 @@ func runFleet(o options) {
 	fmt.Printf("  latency ms: p50 %.4f  p95 %.4f  p99 %.4f  p99.9 %.4f  (mean queue depth %.2f)\n",
 		res.PercentileMs(50), res.PercentileMs(95), res.PercentileMs(99), res.PercentileMs(99.9),
 		res.MeanQueueDepth)
+	if tl := res.Timeline; tl != nil {
+		fmt.Printf("  timeline: %d windows of %d cycles\n", len(tl.Windows), tl.WindowCycles)
+		if tl.SLOP99Ms > 0 {
+			if tl.SLOViolated {
+				fmt.Printf("  SLO p99 <= %.4f ms first violated in window %d (%.4f ms into the run)\n",
+					tl.SLOP99Ms, tl.FirstViolation, tl.TimeToFirstViolationMs())
+			} else {
+				fmt.Printf("  SLO p99 <= %.4f ms held in every window\n", tl.SLOP99Ms)
+			}
+		}
+		if o.timelineFile != nil {
+			if err := tl.Write(o.timelineFile, o.timelinePath); err != nil {
+				fatal("-timeline: %v", err)
+			}
+			if err := cliutil.CloseOutput(o.timelineFile); err != nil {
+				fatal("-timeline: %v", err)
+			}
+		}
+	}
 }
 
 // printCounters prints the named counters that exist in the registry.

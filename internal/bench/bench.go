@@ -27,8 +27,10 @@ import (
 	"mcsquare/internal/figures"
 	"mcsquare/internal/invariant"
 	"mcsquare/internal/memdata"
+	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 )
 
@@ -270,6 +272,86 @@ func benchInvariantsOn(b *testing.B) {
 	}
 }
 
+// timelineRegistry populates reg with a machine-shaped metric set — two
+// dozen counters across the engine/ctt/mc scopes, a cycle CounterFunc, and
+// a few gauges — and returns the counter cells for the benchmark to bump.
+func timelineRegistry(reg *metrics.Registry, e *sim.Engine) []uint64 {
+	cells := make([]uint64, 24)
+	i := 0
+	next := func() *uint64 { c := &cells[i]; i++; return c }
+	en := reg.Scope("engine")
+	for _, n := range []string{"lazy_ops", "lazy_bytes", "bounces", "bounce_src_reads",
+		"eager_fallbacks", "eager_fallback_bytes", "frees", "mem_fills"} {
+		en.Counter(n, next())
+	}
+	ct := reg.Scope("ctt")
+	for _, n := range []string{"inserts", "pieces", "merges", "trims", "removed", "deferred_bytes"} {
+		ct.Counter(n, next())
+	}
+	for mc := 0; mc < 2; mc++ {
+		s := reg.Scope(fmt.Sprintf("mc%d", mc))
+		for _, n := range []string{"reads", "writes", "read_stalls", "forwards", "rejected_writes"} {
+			s.Counter(n, next())
+		}
+	}
+	reg.CounterFunc("sim.cycles", func() uint64 { return uint64(e.Now()) })
+	reg.Scope("ctt").Gauge("entries", func() float64 { return float64(cells[8]) })
+	reg.Scope("ctt").Gauge("high_water", func() float64 { return float64(cells[9]) })
+	reg.Scope("mc0").Gauge("wpq_occupancy", func() float64 { return float64(cells[14]) })
+	reg.Scope("mc1").Gauge("wpq_occupancy", func() float64 { return float64(cells[19]) })
+	return cells
+}
+
+// timelineChain drives an engine through b.N one-cycle events, bumping a
+// rotating counter each event — the workload both timeline benches share,
+// so their delta isolates the recorder's sampling cost.
+func timelineChain(b *testing.B, e *sim.Engine, cells []uint64) {
+	n := 0
+	var step func()
+	step = func() {
+		cells[n%len(cells)]++
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, step)
+	for e.Step() {
+	}
+}
+
+// benchTimelineOff measures the timeline plane's disabled path: the same
+// metric-bumping event chain with no recorder installed, so every time
+// advance pays only the engine's nil-hook check (plus the nil-collector
+// constructor surface). This is the overhead every unsampled simulation
+// pays, and it must stay at 0 allocs/op.
+func benchTimelineOff(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	cells := timelineRegistry(reg, e)
+	col := timeline.NewCollector(timeline.Config{}) // disabled → nil
+	rec := col.NewRecorder(reg, e)                  // nil recorder, inert
+	defer rec.Finalize()
+	timelineChain(b, e, cells)
+}
+
+// benchTimelineOn measures sampling at a deliberately hostile cadence —
+// one window per 32 simulated cycles, far denser than the 100k default —
+// so the per-window snapshot/delta cost is visible per op rather than
+// vanishing into the window length.
+func benchTimelineOn(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	cells := timelineRegistry(reg, e)
+	col := timeline.NewCollector(timeline.Config{Enabled: true, WindowCycles: 32})
+	rec := col.NewRecorder(reg, e)
+	defer rec.Finalize()
+	timelineChain(b, e, cells)
+}
+
 type microBench struct {
 	name string
 	fn   func(b *testing.B)
@@ -285,6 +367,8 @@ var microBenches = []microBench{
 	{"trace/on-1pct", benchTraceOn},
 	{"invariants/off", benchInvariantsOff},
 	{"invariants/on", benchInvariantsOn},
+	{"timeline/off", benchTimelineOff},
+	{"timeline/on-32cyc", benchTimelineOn},
 }
 
 // EngineMicro runs the engine microbenchmark suite, filtered by the

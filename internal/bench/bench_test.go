@@ -4,6 +4,9 @@ import (
 	"path/filepath"
 	"regexp"
 	"testing"
+
+	"mcsquare/internal/sim"
+	"mcsquare/internal/timeline"
 )
 
 func TestReportJSONRoundTrip(t *testing.T) {
@@ -74,4 +77,26 @@ func TestInvariantsOffAllocatesNothing(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("disabled oracle path allocates %.1f allocs/op, want 0", allocs)
 	}
+}
+
+// TestTimelineOffAllocatesNothing pins the timeline plane's disabled-path
+// cost: with no recorder installed, one future event through the engine —
+// the schedule + dispatch that now also passes the nil advance-hook check
+// on every time move — must report zero allocations per op, so an
+// unsampled simulation pays only a nil check for the instrumentation.
+func TestTimelineOffAllocatesNothing(t *testing.T) {
+	e := sim.NewEngine()
+	rec := timeline.NewCollector(timeline.Config{}).NewRecorder(nil, e) // nil: disabled
+	for i := 0; i < 64; i++ {                                           // warm the event pool
+		e.After(1, func() {})
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, func() {})
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled timeline path allocates %.1f allocs/op, want 0", allocs)
+	}
+	rec.Finalize() // nil-safe
 }

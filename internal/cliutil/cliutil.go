@@ -16,6 +16,7 @@ import (
 	"mcsquare/internal/invariant"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/workloads"
 
 	// Out-of-tree mechanisms self-register with the config registry; the
@@ -126,6 +127,41 @@ func ParseFaults(spec string) (*faultinject.Schedule, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// TimelineConfig resolves the timeline configuration from the flag layer
+// and the spec's Timeline block: -timeline (an output path) or -serve
+// forces the plane on, the spec block supplies window/tracks, and a
+// -timeline-window override (> 0) wins over the spec's window.
+func TimelineConfig(spec *config.MachineSpec, outPath string, window uint64, serve bool) timeline.Config {
+	var cfg timeline.Config
+	if spec != nil {
+		cfg = spec.Timeline.Config()
+	}
+	if outPath != "" || serve {
+		cfg.Enabled = true
+	}
+	if window > 0 {
+		cfg.WindowCycles = window
+	}
+	return cfg
+}
+
+// WriteTimeline writes the recorders' windows to path ("-" = stdout):
+// names ending in .csv get CSV, everything else the JSON document.
+func WriteTimeline(path string, recs []*timeline.Recorder) error {
+	if path == "-" {
+		return timeline.Write(os.Stdout, path, recs)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := timeline.Write(f, path, recs); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // Invariants maps the -invariants flag to an oracle configuration.

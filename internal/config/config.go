@@ -27,6 +27,7 @@ import (
 	"mcsquare/internal/core"
 	"mcsquare/internal/cpu"
 	"mcsquare/internal/dram"
+	"mcsquare/internal/faultinject"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
@@ -74,6 +75,16 @@ type MachineSpec struct {
 	// request mix. internal/fleet consumes it; single-machine tools ignore
 	// it.
 	Fleet *FleetSpec `json:",omitempty"`
+
+	// Timeline, when present, enables cycle-windowed metric sampling (the
+	// time-series telemetry plane) for runs of this spec. internal/timeline
+	// consumes it; tools without a timeline surface ignore it.
+	Timeline *TimelineSpec `json:",omitempty"`
+
+	// Faults, when present, is a deterministic fault-injection schedule
+	// carried with the spec (chaos baked into a config file, e.g. for
+	// fleet SLO timelines). A -faults flag on a CLI takes precedence.
+	Faults *faultinject.Schedule `json:",omitempty"`
 }
 
 // MechanismSpec is the mechanism block of a spec: a registered name plus an
@@ -224,6 +235,9 @@ func (s MachineSpec) Validate() error {
 
 	if s.Fleet != nil {
 		s.Fleet.validate(v)
+	}
+	if s.Timeline != nil {
+		s.Timeline.validate(v)
 	}
 
 	if s.Mechanism.Name == "" {

@@ -1,0 +1,57 @@
+package config
+
+import (
+	"mcsquare/internal/metrics"
+	"mcsquare/internal/timeline"
+)
+
+// TimelineSpec is the Timeline block of a spec: the cycle-windowed
+// metric-sampling plane of internal/timeline, in config form. Its zero
+// value (or absence) leaves the timeline off; a present block with
+// Enabled true turns it on for every tool that honors the spec.
+type TimelineSpec struct {
+	// Enabled turns the timeline plane on.
+	Enabled bool
+	// WindowCycles is the sampling window in simulated cycles; 0 uses
+	// timeline.DefaultWindowCycles.
+	WindowCycles uint64 `json:",omitempty"`
+	// Tracks optionally restricts the Perfetto counter-track export to
+	// metric names with these dotted prefixes ("ctt", "engine.bounces").
+	// CSV/JSON timeline files always carry every metric.
+	Tracks []string `json:",omitempty"`
+	// SLOP99Ms, for fleet runs, is the p99 latency objective in
+	// milliseconds; a fleet timeline reports the first window whose p99
+	// exceeds it (time-to-first-SLO-violation). 0 disables the check.
+	SLOP99Ms float64 `json:",omitempty"`
+}
+
+// validate reports structural problems under the "Timeline." path prefix.
+func (s *TimelineSpec) validate(v *validator) {
+	for i, tr := range s.Tracks {
+		if !ValidMetricPrefix(tr) {
+			v.errf("Timeline.Tracks", "entry %d: %q is not a dotted lowercase metric name prefix", i, tr)
+		}
+	}
+	if s.SLOP99Ms < 0 {
+		v.errf("Timeline.SLOP99Ms", "must not be negative, have %g", s.SLOP99Ms)
+	}
+}
+
+// ValidMetricPrefix reports whether p could prefix a registered metric
+// name (lowercase dotted components of [a-z0-9_]+).
+func ValidMetricPrefix(p string) bool {
+	return metrics.ValidName(p)
+}
+
+// Config lowers the spec block to the runtime configuration. A nil spec
+// yields the disabled zero Config.
+func (s *TimelineSpec) Config() timeline.Config {
+	if s == nil {
+		return timeline.Config{}
+	}
+	return timeline.Config{
+		Enabled:      s.Enabled,
+		WindowCycles: s.WindowCycles,
+		Tracks:       append([]string(nil), s.Tracks...),
+	}
+}

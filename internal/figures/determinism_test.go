@@ -9,6 +9,7 @@ import (
 
 	"mcsquare/internal/runner"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 )
 
@@ -42,7 +43,7 @@ func renderFigure(t *testing.T, g Generator, workers int, o Options) string {
 // opt-in via MCFIG_DETERMINISM_ALL=1 (and -short trims further) to keep
 // -race runs affordable.
 func TestParallelDeterminism(t *testing.T) {
-	ids := []string{"2", "10", "20", "22", "ablations"}
+	ids := []string{"2", "10", "20", "22", "ablations", "timeline"}
 	if testing.Short() || raceEnabled {
 		// Race builds and -short keep the cheapest multi-job figures: the
 		// guarantee is about merge order, which two sweeps already cover.
@@ -132,6 +133,73 @@ func TestTraceParallelDeterminism(t *testing.T) {
 		if !strings.Contains(serial, `"name":"`+stage) {
 			t.Errorf("trace missing spans for stage prefix %q", stage)
 		}
+	}
+}
+
+// renderPerfetto runs one figure's jobs with both tracing and the timeline
+// plane on the given worker count and exports the merged span + counter
+// document — the cmd/mcfigures -trace -timeline path.
+func renderPerfetto(t *testing.T, g Generator, workers int) string {
+	t.Helper()
+	set := g.Jobs(Options{Quick: true})
+	results := runner.Run(runner.Config{
+		Workers:  workers,
+		Options:  runner.Options{Quick: true},
+		Trace:    txtrace.Config{Enabled: true, SampleEvery: 1},
+		Timeline: timeline.Config{Enabled: true, WindowCycles: 50_000},
+	}, set.Jobs)
+	var tracers []*txtrace.Tracer
+	var recs []*timeline.Recorder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("figure %s job %s failed: %v", g.ID, r.ID, r.Err)
+		}
+		tracers = append(tracers, r.Trace...)
+		recs = append(recs, r.Timeline...)
+	}
+	if len(tracers) < 2 || len(recs) != len(tracers) {
+		t.Fatalf("want multiple machines with paired planes, have %d tracers / %d recorders",
+			len(tracers), len(recs))
+	}
+	var b bytes.Buffer
+	if err := timeline.ExportPerfetto(&b, tracers, recs); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return b.String()
+}
+
+// TestPerfettoParallelDeterminism extends the -jobs guarantee to the merged
+// span + counter-track export: multiple machines' tracers and timeline
+// recorders, concatenated in job submission order, must serialize to
+// byte-identical documents whether the jobs ran serially or on a saturated
+// pool — counter tracks interleave with span metadata per pid, so any
+// ordering leak shows up as a byte diff.
+func TestPerfettoParallelDeterminism(t *testing.T) {
+	g, ok := ByID("2")
+	if !ok {
+		t.Fatal("figure 2 missing")
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := renderPerfetto(t, g, 1)
+	parallel := renderPerfetto(t, g, workers)
+	if serial != parallel {
+		t.Fatalf("figure 2 merged Perfetto export differs between 1 and %d workers (lengths %d vs %d)",
+			workers, len(serial), len(parallel))
+	}
+	if !strings.Contains(serial, `"ph":"C"`) {
+		t.Fatal("merged export carries no counter events")
+	}
+	for _, track := range []string{`"name":"sim.cycles","cat":"timeline"`, `"name":"l1.misses","cat":"timeline"`} {
+		if !strings.Contains(serial, track) {
+			t.Errorf("merged export missing counter track %s", track)
+		}
+	}
+	// Spans survive the merge too: the plain trace stages are still there.
+	if !strings.Contains(serial, `"name":"cpu.`) {
+		t.Error("merged export lost the span events")
 	}
 }
 

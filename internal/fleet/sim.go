@@ -37,6 +37,11 @@ type Result struct {
 
 	// DurationCycles spans the first arrival to the last completion.
 	DurationCycles float64
+
+	// Timeline is the run's windowed telemetry (goodput, queue depth, p99,
+	// time-to-first-SLO-violation per window). Nil unless the spec's
+	// Timeline block enables it.
+	Timeline *Timeline
 }
 
 // OfferedKOps is the offered load in thousands of requests per second.
@@ -123,6 +128,7 @@ func (f *Fleet) Simulate(cal *Calibration, rate float64) *Result {
 	for _, mx := range f.Block.Mix {
 		res.PerWorkload[mx.Workload] = &stats.Histogram{}
 	}
+	res.Timeline = f.newTimeline() // nil unless the spec enables it
 	n := f.Block.Requests
 	if f.Quick {
 		n = (n + 3) / 4
@@ -188,6 +194,7 @@ func (f *Fleet) Simulate(cal *Calibration, rate float64) *Result {
 		res.Served[c.m]++
 		lat := c.at - c.req.arrive
 		res.Latencies.Add(lat)
+		res.Timeline.completion(c.at, lat)
 		res.PerWorkload[f.Block.Mix[c.req.wl].Workload].Add(lat)
 		if c.at > lastDone {
 			lastDone = c.at
@@ -234,6 +241,7 @@ func (f *Fleet) Simulate(cal *Calibration, rate float64) *Result {
 		}
 		m := route(r)
 		st := &machines[m]
+		dropped := false
 		switch {
 		case st.free > 0:
 			start(r.arrive, m, r)
@@ -241,13 +249,16 @@ func (f *Fleet) Simulate(cal *Calibration, rate float64) *Result {
 			st.queue = append(st.queue, r)
 		default:
 			res.Dropped++
+			dropped = true
 		}
+		res.Timeline.arrival(r.arrive, depth, dropped)
 	}
 	for len(pending) > 0 {
 		finish(heap.Pop(&pending).(completion))
 	}
 	res.MeanQueueDepth = depthSum / float64(n)
 	res.DurationCycles = lastDone - arrivals[0].arrive
+	res.Timeline.finalize()
 	res.publishMetrics()
 	return res
 }

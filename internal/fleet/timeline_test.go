@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mcsquare/internal/config"
+)
+
+// timelineFleet is syntheticFleet with the spec's Timeline block enabled.
+func timelineFleet(t *testing.T, ts config.TimelineSpec) (*Fleet, *Calibration) {
+	t.Helper()
+	f, cal := syntheticFleet(t, "rr", 4, 100)
+	f.Spec.Timeline = &ts
+	return f, cal
+}
+
+func TestFleetTimelineWindows(t *testing.T) {
+	f, cal := timelineFleet(t, config.TimelineSpec{Enabled: true, WindowCycles: 10_000})
+	res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5)
+	tl := res.Timeline
+	if tl == nil {
+		t.Fatal("Timeline nil with an enabled spec block")
+	}
+	if tl.WindowCycles != 10_000 {
+		t.Fatalf("WindowCycles = %d, want 10000", tl.WindowCycles)
+	}
+	if len(tl.Windows) < 2 {
+		t.Fatalf("only %d windows; the run should span several", len(tl.Windows))
+	}
+	var arr, comp, drop uint64
+	for i := range tl.Windows {
+		w := &tl.Windows[i]
+		if w.Index != i {
+			t.Fatalf("window %d has Index %d", i, w.Index)
+		}
+		if w.Start != float64(i)*10_000 || w.End != float64(i+1)*10_000 {
+			t.Fatalf("window %d spans [%v, %v)", i, w.Start, w.End)
+		}
+		arr += w.Arrivals
+		comp += w.Completed
+		drop += w.Dropped
+	}
+	if arr != res.Offered {
+		t.Fatalf("windowed arrivals %d != offered %d", arr, res.Offered)
+	}
+	if comp != res.Completed {
+		t.Fatalf("windowed completions %d != completed %d", comp, res.Completed)
+	}
+	if drop != res.Dropped {
+		t.Fatalf("windowed drops %d != dropped %d", drop, res.Dropped)
+	}
+	// Under capacity with deterministic service times every window that
+	// completes anything reports the 100-cycle service floor at p50.
+	for i := range tl.Windows {
+		w := &tl.Windows[i]
+		if w.Completed > 0 && w.PercentileCycles(50) < 100 {
+			t.Fatalf("window %d p50 %v below the service floor", i, w.PercentileCycles(50))
+		}
+	}
+}
+
+func TestFleetTimelineDeterministic(t *testing.T) {
+	render := func() string {
+		f, cal := timelineFleet(t, config.TimelineSpec{Enabled: true, WindowCycles: 10_000})
+		res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5)
+		var buf bytes.Buffer
+		if err := res.Timeline.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("fleet timeline CSV diverged across identical runs")
+	}
+	if !strings.HasPrefix(a, "window,start,end,arrivals,completed,dropped,goodput_kops,mean_depth,max_depth,p50_ms,p99_ms\n") {
+		t.Fatalf("unexpected CSV header:\n%s", a[:min(len(a), 120)])
+	}
+}
+
+func TestFleetTimelineDisabled(t *testing.T) {
+	f, cal := syntheticFleet(t, "rr", 2, 100)
+	if res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5); res.Timeline != nil {
+		t.Fatal("Timeline non-nil without a spec block")
+	}
+	f.Spec.Timeline = &config.TimelineSpec{Enabled: false, WindowCycles: 500}
+	if res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5); res.Timeline != nil {
+		t.Fatal("Timeline non-nil with a disabled spec block")
+	}
+}
+
+func TestFleetTimelineSLO(t *testing.T) {
+	// The 100-cycle service floor is 2.5e-5 ms at the default 4 GHz clock:
+	// an SLO below it trips in the first completing window, one far above
+	// it holds everywhere.
+	f, cal := timelineFleet(t, config.TimelineSpec{Enabled: true, WindowCycles: 10_000, SLOP99Ms: 1e-6})
+	res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5)
+	tl := res.Timeline
+	if !tl.SLOViolated {
+		t.Fatal("sub-floor SLO not violated")
+	}
+	if tl.FirstViolation != 0 {
+		t.Fatalf("FirstViolation = %d, want 0 (every window violates)", tl.FirstViolation)
+	}
+	if ms := tl.TimeToFirstViolationMs(); ms <= 0 {
+		t.Fatalf("TimeToFirstViolationMs = %v, want > 0", ms)
+	}
+
+	f, cal = timelineFleet(t, config.TimelineSpec{Enabled: true, WindowCycles: 10_000, SLOP99Ms: 1000})
+	tl = f.Simulate(cal, cal.CapacityReqPerCycle()*0.5).Timeline
+	if tl.SLOViolated {
+		t.Fatal("generous SLO violated")
+	}
+	if tl.FirstViolation != -1 || tl.TimeToFirstViolationMs() != -1 {
+		t.Fatalf("held SLO: FirstViolation = %d, ttv = %v, want -1/-1",
+			tl.FirstViolation, tl.TimeToFirstViolationMs())
+	}
+}
+
+func TestFleetTimelineJSONShape(t *testing.T) {
+	f, cal := timelineFleet(t, config.TimelineSpec{Enabled: true, WindowCycles: 10_000, SLOP99Ms: 1e-6})
+	res := f.Simulate(cal, cal.CapacityReqPerCycle()*0.5)
+	var buf bytes.Buffer
+	if err := res.Timeline.Write(&buf, "timeline.json"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		WindowCycles   uint64  `json:"window_cycles"`
+		SLOP99Ms       float64 `json:"slo_p99_ms"`
+		SLOViolated    bool    `json:"slo_violated"`
+		FirstViolation int     `json:"first_violation_window"`
+		Windows        []struct {
+			Index       int     `json:"index"`
+			Arrivals    uint64  `json:"arrivals"`
+			Completed   uint64  `json:"completed"`
+			GoodputKOps float64 `json:"goodput_kops"`
+			P99Ms       float64 `json:"p99_ms"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output not JSON: %v", err)
+	}
+	if doc.WindowCycles != 10_000 || !doc.SLOViolated || doc.FirstViolation != 0 {
+		t.Fatalf("document header wrong: %+v", doc)
+	}
+	if len(doc.Windows) != len(res.Timeline.Windows) {
+		t.Fatalf("%d windows exported, accumulator has %d", len(doc.Windows), len(res.Timeline.Windows))
+	}
+	for _, w := range doc.Windows {
+		if w.Completed > 0 && (w.GoodputKOps <= 0 || w.P99Ms <= 0) {
+			t.Fatalf("window %d has completions but degenerate rates: %+v", w.Index, w)
+		}
+	}
+
+	// The .csv suffix switches format; row count matches the window count.
+	buf.Reset()
+	if err := res.Timeline.Write(&buf, "timeline.csv"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1
+	if lines != len(res.Timeline.Windows)+1 {
+		t.Fatalf("CSV has %d lines, want %d windows + header", lines, len(res.Timeline.Windows))
+	}
+}

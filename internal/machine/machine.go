@@ -20,6 +20,7 @@ import (
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 )
 
@@ -94,6 +95,10 @@ type Machine struct {
 	// Inv is the machine's invariant-oracle state, handed out by the
 	// ambient invariant.Collector; nil (oracles off) otherwise.
 	Inv *invariant.Oracles
+
+	// Timeline is the machine's time-series recorder, handed out by the
+	// ambient timeline.Collector; nil (timeline disabled) otherwise.
+	Timeline *timeline.Recorder
 
 	brk memdata.Addr // bump allocator watermark
 }
@@ -223,6 +228,13 @@ func New(p Params) *Machine {
 	// caller can snapshot all of them without plumbing.
 	if c := metrics.AmbientCollector(); c != nil {
 		c.Add(m.Metrics)
+	}
+	// The timeline plane samples this machine's registry at window
+	// boundaries of its engine. Bound last so the recorder's baseline sees
+	// the fully populated registry (components registering later — oskern,
+	// zio — simply delta from zero).
+	if tc := timeline.AmbientCollector(); tc != nil {
+		m.Timeline = tc.NewRecorder(m.Metrics, m.Eng)
 	}
 	return m
 }

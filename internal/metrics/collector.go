@@ -39,10 +39,24 @@ func (c *Collector) Registries() []*Registry {
 // aggregate the runner reports.
 func (c *Collector) Snapshot() *Snapshot {
 	s := NewSnapshot()
-	for _, r := range c.Registries() {
-		s.Merge(r.Snapshot())
-	}
+	c.SnapshotInto(s)
 	return s
+}
+
+// SnapshotInto is the reuse-friendly Snapshot: dst is cleared and refilled
+// with the merged reading, reusing its map storage. Steady-state calls on
+// a stable registry set are allocation-free, which makes per-window
+// sampling affordable.
+func (c *Collector) SnapshotInto(dst *Snapshot) {
+	if dst.Values == nil {
+		dst.Values = make(map[string]Value)
+	}
+	clear(dst.Values)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.regs {
+		r.addInto(dst)
+	}
 }
 
 // ambient maps goroutine id → bound collector. Bind/lookup happen only at

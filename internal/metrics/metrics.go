@@ -87,6 +87,11 @@ func NewRegistry() *Registry {
 	return &Registry{items: make(map[string]metric)}
 }
 
+// ValidName reports whether name follows the namespace scheme (lowercase
+// dotted components of [a-z0-9_]+) — exported so config validation can
+// vet metric-name prefixes in spec files.
+func ValidName(name string) bool { return validName(name) }
+
 // validName enforces the namespace scheme: lowercase dotted components of
 // [a-z0-9_]+. Names are API — figures and golden tests pin them — so a
 // malformed one is a programming error and panics.
@@ -189,30 +194,68 @@ func (r *Registry) GaugeValue(name string) float64 {
 	return m.g()
 }
 
+// read produces one metric's current reading.
+func (m metric) read() Value {
+	v := Value{Kind: m.kind}
+	switch m.kind {
+	case KindCounter:
+		if m.cf != nil {
+			v.Count = m.cf()
+		} else {
+			v.Count = *m.c
+		}
+	case KindGauge:
+		v.Value = m.g()
+	case KindHistogram:
+		v.Count = uint64(m.h.N())
+		v.Value = m.h.Sum()
+	}
+	return v
+}
+
 // Snapshot captures every metric's current reading.
 func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	r.SnapshotInto(s)
+	return s
+}
+
+// SnapshotInto captures every metric's current reading into dst, reusing
+// dst's map: names no longer in the registry are removed, everything else
+// is overwritten in place. Steady-state calls are allocation-free, which
+// is what the timeline plane's windowed sampling relies on.
+func (r *Registry) SnapshotInto(dst *Snapshot) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := &Snapshot{Values: make(map[string]Value, len(r.items))}
-	for name, m := range r.items {
-		var v Value
-		v.Kind = m.kind
-		switch m.kind {
-		case KindCounter:
-			if m.cf != nil {
-				v.Count = m.cf()
-			} else {
-				v.Count = *m.c
-			}
-		case KindGauge:
-			v.Value = m.g()
-		case KindHistogram:
-			v.Count = uint64(m.h.N())
-			v.Value = m.h.Sum()
-		}
-		s.Values[name] = v
+	if dst.Values == nil {
+		dst.Values = make(map[string]Value, len(r.items))
 	}
-	return s
+	if len(dst.Values) > len(r.items) {
+		for name := range dst.Values {
+			if _, ok := r.items[name]; !ok {
+				delete(dst.Values, name)
+			}
+		}
+	}
+	for name, m := range r.items {
+		dst.Values[name] = m.read()
+	}
+}
+
+// addInto folds the registry's current readings into dst, summing with
+// whatever dst already holds (the Collector.SnapshotInto merge step).
+// Names absent from dst are inserted.
+func (r *Registry) addInto(dst *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, m := range r.items {
+		v := m.read()
+		if p, ok := dst.Values[name]; ok {
+			v.Count += p.Count
+			v.Value += p.Value
+		}
+		dst.Values[name] = v
+	}
 }
 
 // Scope joins a dotted prefix onto registrations, so components publish
@@ -284,6 +327,17 @@ func (s *Snapshot) Gauge(name string) float64 { return s.Values[name].Value }
 // component state.
 func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 	d := &Snapshot{Values: make(map[string]Value, len(s.Values))}
+	s.DeltaInto(d, prev)
+	return d
+}
+
+// DeltaInto computes s - prev into dst (see Delta), clearing and reusing
+// dst's map. Allocation-free in the steady state.
+func (s *Snapshot) DeltaInto(dst, prev *Snapshot) {
+	if dst.Values == nil {
+		dst.Values = make(map[string]Value, len(s.Values))
+	}
+	clear(dst.Values)
 	for name, v := range s.Values {
 		p := prev.Values[name]
 		switch v.Kind {
@@ -293,9 +347,8 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 			v.Count -= p.Count
 			v.Value -= p.Value
 		}
-		d.Values[name] = v
+		dst.Values[name] = v
 	}
-	return d
 }
 
 // Merge folds other into s, summing counters and histograms (and gauges,

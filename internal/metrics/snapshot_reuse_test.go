@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"testing"
+
+	"mcsquare/internal/stats"
+)
+
+// buildRegistry makes a registry shaped like a real machine's: a few
+// dozen counters, a handful of gauges and histograms.
+func buildRegistry(tb testing.TB) (*Registry, []*uint64) {
+	tb.Helper()
+	r := NewRegistry()
+	var owned []*uint64
+	for _, name := range []string{
+		"engine.lazy_ops", "engine.bounces", "engine.eager_fallbacks",
+		"engine.eager_fallback_bytes", "ctt.inserts",
+		"mc0.reads", "mc0.writes", "mc1.reads", "mc1.writes",
+		"l1.hits", "l1.misses", "l2.hits", "l2.misses",
+		"cpu0.loads", "cpu0.stores", "cpu1.loads", "cpu1.stores",
+	} {
+		v := new(uint64)
+		*v = 7
+		owned = append(owned, v)
+		r.Counter(name, v)
+	}
+	cyc := uint64(0)
+	r.CounterFunc("sim.cycles", func() uint64 { cyc += 100; return cyc })
+	entries := 3.0
+	r.Gauge("ctt.entries", func() float64 { return entries })
+	r.Gauge("ctt.high_water", func() float64 { return 12 })
+	h := new(stats.Histogram)
+	for i := 0; i < 32; i++ {
+		h.Add(float64(i))
+	}
+	r.Histogram("mc0.rpq_wait", h)
+	return r, owned
+}
+
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	r, owned := buildRegistry(t)
+	var dst Snapshot
+	// Seed dst with stale names to prove SnapshotInto prunes them.
+	dst.Values = map[string]Value{
+		"stale.metric":  {Kind: KindCounter, Count: 99},
+		"stale.metric2": {Kind: KindGauge, Value: 1},
+		"stale.metric3": {Kind: KindCounter, Count: 1},
+		"stale.metric4": {Kind: KindCounter, Count: 1},
+		"stale.metric5": {Kind: KindCounter, Count: 1},
+		"stale.a":       {Kind: KindCounter, Count: 1},
+		"stale.b":       {Kind: KindCounter, Count: 1},
+		"stale.c":       {Kind: KindCounter, Count: 1},
+		"stale.d":       {Kind: KindCounter, Count: 1},
+		"stale.e":       {Kind: KindCounter, Count: 1},
+		"stale.f":       {Kind: KindCounter, Count: 1},
+		"stale.g":       {Kind: KindCounter, Count: 1},
+		"stale.h":       {Kind: KindCounter, Count: 1},
+		"stale.i":       {Kind: KindCounter, Count: 1},
+		"stale.j":       {Kind: KindCounter, Count: 1},
+		"stale.k":       {Kind: KindCounter, Count: 1},
+		"stale.l":       {Kind: KindCounter, Count: 1},
+		"stale.m":       {Kind: KindCounter, Count: 1},
+		"stale.n":       {Kind: KindCounter, Count: 1},
+		"stale.o":       {Kind: KindCounter, Count: 1},
+		"stale.p":       {Kind: KindCounter, Count: 1},
+		"stale.q":       {Kind: KindCounter, Count: 1},
+		"stale.r":       {Kind: KindCounter, Count: 1},
+	}
+	r.SnapshotInto(&dst)
+	want := r.Snapshot()
+	if len(dst.Values) != len(want.Values) {
+		t.Fatalf("SnapshotInto kept %d values, Snapshot has %d", len(dst.Values), len(want.Values))
+	}
+	for name, w := range want.Values {
+		// sim.cycles is a CounterFunc that advances per read; skip it.
+		if name == "sim.cycles" {
+			continue
+		}
+		if got := dst.Values[name]; got != w {
+			t.Errorf("%s: SnapshotInto=%+v Snapshot=%+v", name, got, w)
+		}
+	}
+	if _, ok := dst.Values["stale.metric"]; ok {
+		t.Error("SnapshotInto did not prune stale name")
+	}
+	_ = owned
+}
+
+func TestDeltaIntoMatchesDelta(t *testing.T) {
+	r, owned := buildRegistry(t)
+	prev := r.Snapshot()
+	for _, v := range owned {
+		*v += 5
+	}
+	cur := r.Snapshot()
+	want := cur.Delta(prev)
+	var dst Snapshot
+	cur.DeltaInto(&dst, prev)
+	if len(dst.Values) != len(want.Values) {
+		t.Fatalf("DeltaInto has %d values, Delta has %d", len(dst.Values), len(want.Values))
+	}
+	for name, w := range want.Values {
+		if got := dst.Values[name]; got != w {
+			t.Errorf("%s: DeltaInto=%+v Delta=%+v", name, got, w)
+		}
+	}
+	if got := dst.Values["engine.lazy_ops"].Count; got != 5 {
+		t.Errorf("engine.lazy_ops delta = %d, want 5", got)
+	}
+}
+
+// TestSnapshotIntoAllocs pins the steady-state sampling hot path — the
+// exact sequence the timeline Recorder runs per window — at zero
+// allocations per call.
+func TestSnapshotIntoAllocs(t *testing.T) {
+	r, _ := buildRegistry(t)
+	var cur, prev, delta Snapshot
+	r.SnapshotInto(&prev)
+	r.SnapshotInto(&cur)
+	cur.DeltaInto(&delta, &prev)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.SnapshotInto(&cur)
+		cur.DeltaInto(&delta, &prev)
+		cur, prev = prev, cur
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SnapshotInto+DeltaInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestCollectorSnapshotIntoAllocs pins the collector-level merge path.
+func TestCollectorSnapshotIntoAllocs(t *testing.T) {
+	c := NewCollector()
+	r1, _ := buildRegistry(t)
+	r2, _ := buildRegistry(t)
+	c.Add(r1)
+	c.Add(r2)
+	var dst Snapshot
+	c.SnapshotInto(&dst)
+	one := r1.Snapshot()
+	if dst.Values["engine.lazy_ops"].Count != 2*one.Values["engine.lazy_ops"].Count {
+		t.Fatalf("collector SnapshotInto did not sum registries")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.SnapshotInto(&dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Collector.SnapshotInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSnapshotInto(b *testing.B) {
+	r, _ := buildRegistry(b)
+	var cur, prev, delta Snapshot
+	r.SnapshotInto(&prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SnapshotInto(&cur)
+		cur.DeltaInto(&delta, &prev)
+		cur, prev = prev, cur
+	}
+}
+
+func BenchmarkSnapshotAlloc(b *testing.B) {
+	r, _ := buildRegistry(b)
+	prev := r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := r.Snapshot()
+		_ = cur.Delta(prev)
+		prev = cur
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
 	"mcsquare/internal/stats"
+	"mcsquare/internal/timeline"
 	"mcsquare/internal/txtrace"
 )
 
@@ -75,6 +76,10 @@ type Result struct {
 	// Trace holds one tracer per machine the job built, in construction
 	// order. Empty unless Config.Trace enabled tracing.
 	Trace []*txtrace.Tracer
+	// Timeline holds one finalized time-series recorder per machine the
+	// job built, in construction order. Empty unless Config.Timeline
+	// enabled the timeline plane.
+	Timeline []*timeline.Recorder
 }
 
 // JobError is the structured error a failed job carries: the recovered
@@ -152,6 +157,10 @@ type Config struct {
 	// builds; exceeding it panics with sim.CycleLimitError, which surfaces
 	// as a deterministic *JobError. 0 means unbounded.
 	CycleBudget uint64
+	// Timeline configures cycle-windowed metric sampling for every machine
+	// the jobs build. With Enabled false (the default) nothing is recorded
+	// and the per-event cost is a single nil check.
+	Timeline timeline.Config
 }
 
 // Run executes the jobs on the pool and returns one Result per job, in
@@ -250,12 +259,15 @@ func runAttempt(index int, job Job, cfg Config, attempt int) (res Result) {
 	releaseFaults := fcol.Bind()
 	icol := invariant.NewCollector(cfg.Invariants) // nil with oracles off
 	releaseInv := icol.Bind()
+	tlcol := timeline.NewCollector(cfg.Timeline) // nil with the timeline off
+	releaseTl := tlcol.Bind()
 	defer func() {
 		release()
 		releaseTrk()
 		releaseTrace()
 		releaseFaults()
 		releaseInv()
+		releaseTl()
 		if p := recover(); p != nil {
 			res.Err = newJobError(job.ID, p, attempt)
 			res.Tables = nil
@@ -273,6 +285,10 @@ func runAttempt(index int, job Job, cfg Config, attempt int) (res Result) {
 			res.Metrics.SimCycles = snap.Counter("sim.cycles")
 		}
 		res.Trace = tcol.Tracers()
+		// Close trailing partial windows before the tracker tears the
+		// engines down; recorders are inert afterwards.
+		tlcol.Finalize()
+		res.Timeline = tlcol.Recorders()
 		trk.CloseAll()
 		res.Metrics.Wall = time.Since(start)
 	}()

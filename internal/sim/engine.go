@@ -91,6 +91,15 @@ type Engine struct {
 	reported Cycle  // cycles already flushed into totalCycles
 	executed uint64 // events run by this engine
 	repEv    uint64 // events already flushed into totalEvents
+
+	// advance, when set, fires whenever simulated time moves from `from`
+	// to `to` (from < to), before the event at `to` runs. At that instant
+	// every event scheduled at or before `from` has executed and no event
+	// exists in (from, to), so an observer sampling at boundaries inside
+	// (from, to] sees a state determined solely by the event history —
+	// the timeline plane's determinism rests on this. Disabled cost: one
+	// nil check per time-advancing event.
+	advance func(from, to Cycle)
 }
 
 // NewEngine returns an engine with simulated time at cycle 0. If an
@@ -180,6 +189,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pop()
+	prev := e.now
 	e.now = ev.when
 	if e.limit != 0 && e.now > e.limit {
 		e.flushCycles()
@@ -189,8 +199,23 @@ func (e *Engine) Step() bool {
 	if e.now-e.reported >= cycleFlushPeriod {
 		e.flushCycles()
 	}
+	if e.advance != nil && e.now > prev {
+		e.advance(prev, e.now)
+	}
 	ev.fn()
 	return true
+}
+
+// OnAdvance installs fn to be called whenever simulated time advances from
+// one cycle to a later one — after all events at the old cycle have run
+// and before any event at the new cycle does. nil uninstalls. Only one
+// hook is supported; installing over an existing hook panics, because a
+// silently dropped observer would corrupt whatever it was recording.
+func (e *Engine) OnAdvance(fn func(from, to Cycle)) {
+	if fn != nil && e.advance != nil {
+		panic("sim: OnAdvance hook already installed")
+	}
+	e.advance = fn
 }
 
 // push inserts ev into the heap (sift-up with a hole, no boxing).
@@ -263,7 +288,11 @@ func (e *Engine) RunUntil(limit Cycle) {
 		e.Step()
 	}
 	if e.now < limit {
+		prev := e.now
 		e.now = limit
+		if e.advance != nil {
+			e.advance(prev, limit)
+		}
 	}
 	e.flushCycles()
 }

@@ -1,0 +1,130 @@
+package timeline
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"mcsquare/internal/metrics"
+	"mcsquare/internal/sim"
+)
+
+// Collector gathers the timeline recorder of every machine built while it
+// is bound to a goroutine, mirroring txtrace.Collector: the runner (or a
+// cmd binary) binds one around a run, machine.New asks AmbientCollector()
+// for a recorder, and the caller exports all of them afterwards. A nil
+// Collector (timeline disabled) hands out nil recorders.
+type Collector struct {
+	cfg Config
+	mu  sync.Mutex
+	rcs []*Recorder
+}
+
+// NewCollector builds a collector that hands out recorders configured by
+// cfg. Returns nil when cfg.Enabled is false, so callers can bind
+// unconditionally and pay nothing when the timeline is off.
+func NewCollector(cfg Config) *Collector {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Collector{cfg: cfg}
+}
+
+// Config returns the collector's configuration (zero for nil).
+func (c *Collector) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// NewRecorder creates, records, and returns one recorder sampling reg at
+// eng's window boundaries (nil from a nil collector). Safe to call from
+// any goroutine.
+func (c *Collector) NewRecorder(reg *metrics.Registry, eng *sim.Engine) *Recorder {
+	if c == nil {
+		return nil
+	}
+	r := newRecorder(c.cfg, reg, eng)
+	c.mu.Lock()
+	c.rcs = append(c.rcs, r)
+	c.mu.Unlock()
+	return r
+}
+
+// Recorders returns the collected recorders in creation order.
+func (c *Collector) Recorders() []*Recorder {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Recorder(nil), c.rcs...)
+}
+
+// Finalize closes every recorder's trailing partial window.
+func (c *Collector) Finalize() {
+	for _, r := range c.Recorders() {
+		r.Finalize()
+	}
+}
+
+// ambient maps goroutine id → bound collector (same pattern as
+// metrics.Collector and txtrace.Collector: bind/lookup only at job
+// boundaries and machine construction, never per event).
+var (
+	ambientMu sync.Mutex
+	ambient   = map[uint64]*Collector{}
+)
+
+// Bind attaches c to the calling goroutine and returns a release func that
+// restores whatever was bound before. Binding a nil collector is a no-op
+// that still returns a valid release func.
+func (c *Collector) Bind() (release func()) {
+	if c == nil {
+		return func() {}
+	}
+	id := goid()
+	ambientMu.Lock()
+	prev, had := ambient[id]
+	ambient[id] = c
+	ambientMu.Unlock()
+	return func() {
+		ambientMu.Lock()
+		if had {
+			ambient[id] = prev
+		} else {
+			delete(ambient, id)
+		}
+		ambientMu.Unlock()
+	}
+}
+
+// AmbientCollector returns the collector bound to the calling goroutine,
+// or nil (machine.New then runs without a timeline).
+func AmbientCollector() *Collector {
+	ambientMu.Lock()
+	defer ambientMu.Unlock()
+	if len(ambient) == 0 {
+		return nil // nothing bound anywhere: skip the goid parse
+	}
+	return ambient[goid()]
+}
+
+// goid parses the calling goroutine's id from its stack header (same
+// helper as packages metrics and txtrace keep privately).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(string(s), 10, 64)
+	if err != nil {
+		panic("timeline: cannot parse goroutine id from stack header")
+	}
+	return id
+}

@@ -1,0 +1,178 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mcsquare/internal/metrics"
+	"mcsquare/internal/txtrace"
+)
+
+// ---------------------------------------------------------------------------
+// CSV / JSON timeline files (mcsim -timeline / mcfigures -timeline)
+// ---------------------------------------------------------------------------
+
+// valueString renders a Value for CSV/Perfetto: counters and histograms by
+// count, gauges by value. Floats use the shortest round-trip form so the
+// output is deterministic and diff-friendly.
+func valueString(v metrics.Value) string {
+	if v.Kind == metrics.KindGauge {
+		return strconv.FormatFloat(v.Value, 'g', -1, 64)
+	}
+	return strconv.FormatUint(v.Count, 10)
+}
+
+// WriteCSV writes every recorder's windows as flat CSV rows:
+//
+//	machine,window,start,end,metric,kind,count,value
+//
+// Rows appear machine-major, window-minor, metric names sorted — fully
+// deterministic. Recorders are finalized first.
+func WriteCSV(w io.Writer, recs []*Recorder) error {
+	if _, err := io.WriteString(w, "machine,window,start,end,metric,kind,count,value\n"); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for mi, r := range recs {
+		if r == nil {
+			continue
+		}
+		r.Finalize()
+		for _, win := range r.Windows() {
+			for _, name := range win.Sample.Names() {
+				v := win.Sample.Values[name]
+				sb.Reset()
+				fmt.Fprintf(&sb, "%d,%d,%d,%d,%s,%s,%d,%s\n",
+					mi, win.Index, win.Start, win.End, name, v.Kind,
+					v.Count, strconv.FormatFloat(v.Value, 'g', -1, 64))
+				if _, err := io.WriteString(w, sb.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// machineJSON is one machine's timeline in the JSON export.
+type machineJSON struct {
+	Machine int      `json:"machine"`
+	Windows []Window `json:"windows"`
+}
+
+type timelineJSON struct {
+	WindowCycles uint64        `json:"window_cycles"`
+	Machines     []machineJSON `json:"machines"`
+}
+
+// WriteJSON writes every recorder's windows as one indented JSON document
+// (snapshot keys sort deterministically). Recorders are finalized first.
+func WriteJSON(w io.Writer, recs []*Recorder) error {
+	doc := timelineJSON{Machines: []machineJSON{}}
+	for mi, r := range recs {
+		if r == nil {
+			continue
+		}
+		r.Finalize()
+		if doc.WindowCycles == 0 {
+			doc.WindowCycles = uint64(r.WindowCycles())
+		}
+		doc.Machines = append(doc.Machines, machineJSON{Machine: mi, Windows: r.Windows()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Write picks the format from the file name: names ending in ".csv" get
+// WriteCSV, everything else WriteJSON.
+func Write(w io.Writer, name string, recs []*Recorder) error {
+	if strings.HasSuffix(name, ".csv") {
+		return WriteCSV(w, recs)
+	}
+	return WriteJSON(w, recs)
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto counter tracks merged with txtrace spans
+// ---------------------------------------------------------------------------
+
+// counterNames returns the metric names worth a counter track for r: those
+// passing the recorder's track filter that change in at least one window
+// (an explicit filter keeps even flat tracks — the user asked for them).
+func counterNames(r *Recorder, wins []Window) []string {
+	seen := map[string]bool{}
+	for _, win := range wins {
+		for name, v := range win.Sample.Values {
+			if seen[name] || !r.selected(name) {
+				continue
+			}
+			if len(r.tracks) > 0 || v.Count != 0 || v.Value != 0 {
+				seen[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeCounters emits one ph:"C" event per (metric, window) under pid,
+// ts-anchored at the window's start so the curve spans the window it
+// measures. Events per track are emitted in window order, so ts is
+// strictly monotonic within each counter track.
+func writeCounters(ew *txtrace.EventWriter, pid int, r *Recorder) {
+	wins := r.Windows()
+	for _, name := range counterNames(r, wins) {
+		for _, win := range wins {
+			v, ok := win.Sample.Values[name]
+			if !ok {
+				continue
+			}
+			ew.Emit(fmt.Sprintf(`{"name":"%s","cat":"timeline","ph":"C","pid":%d,"ts":%d,"args":{"value":%s}}`,
+				name, pid, win.Start, valueString(v)))
+		}
+	}
+}
+
+// ExportPerfetto writes spans and counter tracks as one Chrome
+// trace-event document: machine i's tracer (if any) and recorder (if any)
+// share pid i, so Perfetto renders the span tree and the metric curves on
+// one timebase. Either slice may be shorter or hold nils; recorders are
+// finalized first.
+func ExportPerfetto(w io.Writer, tracers []*txtrace.Tracer, recs []*Recorder) error {
+	n := len(tracers)
+	if len(recs) > n {
+		n = len(recs)
+	}
+	ew := txtrace.NewEventWriter(w)
+	for pid := 0; pid < n; pid++ {
+		var t *txtrace.Tracer
+		if pid < len(tracers) {
+			t = tracers[pid]
+		}
+		if t != nil {
+			ew.WriteTracer(pid, t)
+		}
+		var r *Recorder
+		if pid < len(recs) {
+			r = recs[pid]
+		}
+		if r != nil {
+			r.Finalize()
+			if t == nil {
+				// No spans named this process; do it here.
+				ew.Emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine%d"}}`, pid, pid))
+			}
+			writeCounters(ew, pid, r)
+		}
+	}
+	return ew.Close()
+}

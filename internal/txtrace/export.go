@@ -73,57 +73,85 @@ func flagString(f Flags) string {
 	return string(b)
 }
 
+// EventWriter incrementally builds one Chrome trace-event JSON document.
+// It exists so other planes (the timeline's ph:"C" counter tracks) can
+// merge their events into the same document as the span trees and share
+// one timebase; Export is a thin wrapper. Formatting is hand-rolled and
+// deterministic: Close the writer to finish the document.
+type EventWriter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+// NewEventWriter starts a trace-event document on w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	return &EventWriter{bw: bw, first: true}
+}
+
+// Emit appends one pre-formatted JSON event object.
+func (ew *EventWriter) Emit(line string) {
+	if !ew.first {
+		ew.bw.WriteString(",")
+	}
+	ew.first = false
+	ew.bw.WriteString("\n")
+	ew.bw.WriteString(line)
+}
+
+// WriteTracer emits tracer t's process/track metadata and spans under the
+// given pid. Spans appear in id order.
+func (ew *EventWriter) WriteTracer(pid int, t *Tracer) {
+	spans := t.Spans()
+	// Metadata: name the process and every track that appears.
+	ew.Emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine%d"}}`, pid, pid))
+	tracks := map[int32]bool{}
+	var order []int32
+	for _, sp := range spans {
+		if !tracks[sp.Track] {
+			tracks[sp.Track] = true
+			order = append(order, sp.Track)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return tidFor(order[i]) < tidFor(order[j]) })
+	for _, tr := range order {
+		ew.Emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			pid, tidFor(tr), trackName(tr)))
+	}
+	for _, sp := range spans {
+		line := fmt.Sprintf(`{"name":"%s","cat":"mem","ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":{"span":%d,"tx":%d`,
+			sp.Stage, pid, tidFor(sp.Track), sp.Start, sp.End-sp.Start, sp.ID, sp.Root)
+		if sp.Parent != 0 {
+			line += `,"parent":` + strconv.FormatUint(sp.Parent, 10)
+		}
+		line += `,"addr":"0x` + strconv.FormatUint(sp.Addr, 16) + `"`
+		if fs := flagString(sp.Flags); fs != "" {
+			line += `,"flags":"` + fs + `"`
+		}
+		line += "}}"
+		ew.Emit(line)
+	}
+}
+
+// Close finishes the document and flushes buffered output.
+func (ew *EventWriter) Close() error {
+	ew.bw.WriteString("\n]}\n")
+	return ew.bw.Flush()
+}
+
 // Export writes the tracers' flight recorders as one Chrome trace-event
 // JSON document. Nil tracers are skipped (but still consume a pid slot, so
 // machine numbering is stable across configurations).
 func Export(w io.Writer, tracers []*Tracer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
-	first := true
-	emit := func(line string) {
-		if !first {
-			bw.WriteString(",")
-		}
-		first = false
-		bw.WriteString("\n")
-		bw.WriteString(line)
-	}
+	ew := NewEventWriter(w)
 	for pid, t := range tracers {
 		if t == nil {
 			continue
 		}
-		spans := t.Spans()
-		// Metadata: name the process and every track that appears.
-		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine%d"}}`, pid, pid))
-		tracks := map[int32]bool{}
-		var order []int32
-		for _, sp := range spans {
-			if !tracks[sp.Track] {
-				tracks[sp.Track] = true
-				order = append(order, sp.Track)
-			}
-		}
-		sort.Slice(order, func(i, j int) bool { return tidFor(order[i]) < tidFor(order[j]) })
-		for _, tr := range order {
-			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
-				pid, tidFor(tr), trackName(tr)))
-		}
-		for _, sp := range spans {
-			line := fmt.Sprintf(`{"name":"%s","cat":"mem","ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":{"span":%d,"tx":%d`,
-				sp.Stage, pid, tidFor(sp.Track), sp.Start, sp.End-sp.Start, sp.ID, sp.Root)
-			if sp.Parent != 0 {
-				line += `,"parent":` + strconv.FormatUint(sp.Parent, 10)
-			}
-			line += `,"addr":"0x` + strconv.FormatUint(sp.Addr, 16) + `"`
-			if fs := flagString(sp.Flags); fs != "" {
-				line += `,"flags":"` + fs + `"`
-			}
-			line += "}}"
-			emit(line)
-		}
+		ew.WriteTracer(pid, t)
 	}
-	bw.WriteString("\n]}\n")
-	return bw.Flush()
+	return ew.Close()
 }
 
 // Dump writes this tracer's flight recorder alone — the anomaly-hook path.
