@@ -46,6 +46,13 @@
 // violations fail the job (reported per job, exit non-zero).
 // -cycle-budget N fails any job whose simulation exceeds N cycles — the
 // livelock backstop for chaos runs.
+//
+// -fig resilience sweeps fault-storm intensity over the serving fleet with
+// the full fault-tolerance plane on (fleet-level crashes, brownouts, and
+// probe loss derived from the schedule seed), comparing baseline and mc2
+// goodput, tail latency, and unavailability under the identical storm. A
+// -faults schedule supplies the storm (replayable from its emitted
+// fault_schedule.json); without one the figure uses its own fixed seed.
 package main
 
 import (

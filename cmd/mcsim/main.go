@@ -40,6 +40,15 @@
 // column; the offered rate derives from a baseline calibration either way,
 // so baseline and mc2 runs face identical load.
 //
+// A Fleet.Resilience block (see examples/configs/fleet-resilience.json)
+// switches on the fault-tolerance plane: health-checked LB membership,
+// per-request timeouts with budgeted retries, hedged requests, circuit
+// breakers, and priority load shedding. A -faults schedule whose fleet
+// fields are set (FromSeed schedules always set them) additionally storms
+// the fleet with seeded machine crashes, brownouts, and probe loss; the
+// summary then reports the availability accounting (Offered == Completed
+// + TimedOut + Shed + Dropped + Failed).
+//
 // -faults injects a deterministic fault schedule (a bare seed like
 // 0xC0FFEE, or a schedule JSON file) into every machine of the run;
 // -invariants turns on the runtime correctness oracles (shadow-memory
@@ -419,6 +428,11 @@ func runFleet(o options) {
 	fmt.Printf("  latency ms: p50 %.4f  p95 %.4f  p99 %.4f  p99.9 %.4f  (mean queue depth %.2f)\n",
 		res.PercentileMs(50), res.PercentileMs(95), res.PercentileMs(99), res.PercentileMs(99.9),
 		res.MeanQueueDepth)
+	if res.ResilienceOn {
+		// The fault-tolerance plane ran (a Fleet.Resilience mitigation or
+		// an ambient fleet storm); default runs print nothing extra.
+		fmt.Println(res.ResilienceSummary())
+	}
 	if tl := res.Timeline; tl != nil {
 		fmt.Printf("  timeline: %d windows of %d cycles\n", len(tl.Windows), tl.WindowCycles)
 		if tl.SLOP99Ms > 0 {

@@ -41,6 +41,10 @@ type FleetSpec struct {
 	// Mix is the YCSB-style request mix over the workload families in
 	// FleetWorkloads. Empty inherits DefaultFleet().Mix.
 	Mix []MixEntry `json:",omitempty"`
+	// Resilience is the fault-tolerance plane (health checks, retries,
+	// hedging, breakers, shedding). Absent means every mechanism off, which
+	// preserves the exact legacy event loop.
+	Resilience *ResilienceSpec `json:",omitempty"`
 }
 
 // FleetGroup is one homogeneous slice of a heterogeneous fleet.
@@ -74,6 +78,10 @@ type ArrivalSpec struct {
 type MixEntry struct {
 	Workload string
 	Weight   float64
+	// Priority ranks the entry for load shedding: during overload,
+	// arrivals with Priority below the shed block's PriorityFloor are
+	// turned away first. Higher is more important; default 0.
+	Priority int `json:",omitempty"`
 }
 
 // FleetWorkloads are the workload families a fleet mix may name, each
@@ -131,6 +139,10 @@ func (f FleetSpec) Normalized() FleetSpec {
 	}
 	if len(f.Mix) == 0 {
 		f.Mix = append([]MixEntry(nil), def.Mix...)
+	}
+	if f.Resilience != nil {
+		r := f.Resilience.Normalized()
+		f.Resilience = &r
 	}
 	return f
 }
@@ -222,9 +234,15 @@ func (f *FleetSpec) validate(v *validator) {
 		if mx.Weight <= 0 {
 			v.errf("Fleet.Mix", "entry %d (%s): weight must be positive, have %g", i, mx.Workload, mx.Weight)
 		}
+		if mx.Priority < 0 {
+			v.errf("Fleet.Mix", "entry %d (%s): priority must not be negative, have %d", i, mx.Workload, mx.Priority)
+		}
 		total += mx.Weight
 	}
 	if len(n.Mix) > 0 && total <= 0 {
 		v.errf("Fleet.Mix", "mix weights sum to %g; must be positive", total)
+	}
+	if f.Resilience != nil {
+		f.Resilience.validate(v)
 	}
 }

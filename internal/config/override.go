@@ -44,15 +44,20 @@ func (s *MachineSpec) apply(ov Override) error {
 	for _, name := range strings.Split(ov.Path, ".") {
 		// Optional blocks (e.g. Fleet) are pointers: descending into one
 		// allocates it so "-set Fleet.Machines=8" works on a spec without a
-		// fleet block.
+		// fleet block. A non-nil block is descended copy-on-write: specs are
+		// value-copied throughout the figure machinery, so writing through a
+		// shared pointee would leak one sweep cell's override into its
+		// siblings.
 		if field.Kind() == reflect.Ptr && field.Type().Elem().Kind() == reflect.Struct {
-			if field.IsNil() {
-				if !field.CanSet() {
-					return &FieldError{Path: ov.Path, Msg: "field cannot be set"}
-				}
-				field.Set(reflect.New(field.Type().Elem()))
+			if !field.CanSet() {
+				return &FieldError{Path: ov.Path, Msg: "field cannot be set"}
 			}
-			field = field.Elem()
+			fresh := reflect.New(field.Type().Elem())
+			if !field.IsNil() {
+				fresh.Elem().Set(field.Elem())
+			}
+			field.Set(fresh)
+			field = fresh.Elem()
 		}
 		if field.Kind() != reflect.Struct {
 			return &FieldError{Path: ov.Path, Msg: "path descends into a non-struct field"}

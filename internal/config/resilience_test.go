@@ -1,0 +1,177 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResilienceNormalizedDefaults(t *testing.T) {
+	r := ResilienceSpec{
+		Health:  &HealthSpec{Enabled: true},
+		Retry:   &RetrySpec{Enabled: true},
+		Hedge:   &HedgeSpec{Enabled: true},
+		Breaker: &BreakerSpec{Enabled: true},
+		Shed:    &ShedSpec{Enabled: true},
+	}.Normalized()
+	if r.Health.ProbeIntervalCycles != 25_000 || r.Health.FailThreshold != 3 || r.Health.RestoreThreshold != 2 {
+		t.Fatalf("health defaults: %+v", r.Health)
+	}
+	if r.Retry.MaxAttempts != 3 || r.Retry.TimeoutP99Mult != 4 ||
+		r.Retry.BackoffBaseCycles != 1_000 || r.Retry.BackoffMaxCycles != 16_000 {
+		t.Fatalf("retry defaults: %+v", r.Retry)
+	}
+	if r.Hedge.DelayP99Mult != 1 || r.Hedge.MaxHedges != 1 {
+		t.Fatalf("hedge defaults: %+v", r.Hedge)
+	}
+	if r.Breaker.FailThreshold != 5 || r.Breaker.OpenCycles != 50_000 || r.Breaker.HalfOpenProbes != 1 {
+		t.Fatalf("breaker defaults: %+v", r.Breaker)
+	}
+	if r.Shed.UtilizationHigh != 0.9 || r.Shed.PriorityFloor != 1 {
+		t.Fatalf("shed defaults: %+v", r.Shed)
+	}
+
+	// Absent sub-blocks stay absent; explicit knobs survive.
+	p := ResilienceSpec{Retry: &RetrySpec{Enabled: true, MaxAttempts: 7}}.Normalized()
+	if p.Health != nil || p.Hedge != nil || p.Breaker != nil || p.Shed != nil {
+		t.Fatalf("absent sub-blocks materialized: %+v", p)
+	}
+	if p.Retry.MaxAttempts != 7 {
+		t.Fatalf("explicit MaxAttempts overwritten: %+v", p.Retry)
+	}
+}
+
+func TestResilienceEnabledAny(t *testing.T) {
+	var nilSpec *ResilienceSpec
+	if nilSpec.EnabledAny() {
+		t.Fatal("nil spec reports enabled")
+	}
+	off := ResilienceSpec{Retry: &RetrySpec{}, Shed: &ShedSpec{}}
+	if off.EnabledAny() {
+		t.Fatal("all-off spec reports enabled")
+	}
+	on := ResilienceSpec{Shed: &ShedSpec{Enabled: true}}
+	if !on.EnabledAny() {
+		t.Fatal("shed-on spec reports disabled")
+	}
+	if d := DefaultResilience(); !d.EnabledAny() {
+		t.Fatal("DefaultResilience reports disabled")
+	}
+}
+
+func TestResilienceValidateErrors(t *testing.T) {
+	s := Default()
+	fl := DefaultFleet()
+	fl.Resilience = &ResilienceSpec{
+		Health:  &HealthSpec{Enabled: true, ProbeIntervalCycles: -1, FailThreshold: -2},
+		Retry:   &RetrySpec{Enabled: true, TimeoutCycles: -5, BackoffBaseCycles: 2000, BackoffMaxCycles: 100},
+		Hedge:   &HedgeSpec{Enabled: true, MaxHedges: -1},
+		Breaker: &BreakerSpec{Enabled: true, OpenCycles: -3},
+		Shed:    &ShedSpec{Enabled: true, UtilizationHigh: 1.5},
+	}
+	s.Fleet = &fl
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid resilience block accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"Fleet.Resilience.Health.ProbeIntervalCycles",
+		"Fleet.Resilience.Health.FailThreshold",
+		"Fleet.Resilience.Retry.TimeoutCycles",
+		"Fleet.Resilience.Retry.BackoffMaxCycles",
+		"Fleet.Resilience.Hedge.MaxHedges",
+		"Fleet.Resilience.Breaker.OpenCycles",
+		"Fleet.Resilience.Shed.UtilizationHigh",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+
+	// Negative mix priority is caught on the fleet block itself.
+	fl2 := DefaultFleet()
+	fl2.Mix[0].Priority = -1
+	s.Fleet = &fl2
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "priority must not be negative") {
+		t.Fatalf("negative mix priority accepted: %v", err)
+	}
+}
+
+func TestResilienceMarshalStability(t *testing.T) {
+	s := Default()
+	fl := DefaultFleet()
+	r := DefaultResilience()
+	fl.Resilience = &r
+	fl.Mix[0].Priority = 1
+	s.Fleet = &fl
+	first, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, first)
+	}
+	second, err := reparsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("resilience marshal not stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	got := reparsed.Fleet.Resilience
+	if got == nil || !got.EnabledAny() || got.Retry.MaxAttempts != 3 {
+		t.Fatalf("resilience block lost in round-trip: %+v", got)
+	}
+	if reparsed.Fleet.Mix[0].Priority != 1 {
+		t.Fatalf("mix priority lost in round-trip: %+v", reparsed.Fleet.Mix)
+	}
+}
+
+// TestResilienceOverrides pins the -set path CI's default-off guard uses:
+// descending through a nil Resilience pointer allocates the block, and the
+// resulting all-off spec must leave EnabledAny false.
+func TestResilienceOverrides(t *testing.T) {
+	s := Default()
+	fl := DefaultFleet()
+	s.Fleet = &fl
+	ov, err := ParseAssignment("Fleet.Resilience.Retry.Enabled=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Overrides{ov}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet.Resilience == nil || s.Fleet.Resilience.Retry == nil {
+		t.Fatal("override did not allocate the resilience block")
+	}
+	if s.Fleet.Resilience.EnabledAny() {
+		t.Fatal("Enabled=false override switched the plane on")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("allocated-but-off block fails validation: %v", err)
+	}
+
+	var ovs Overrides
+	for _, a := range []string{
+		"Fleet.Resilience.Hedge.Enabled=true",
+		"Fleet.Resilience.Hedge.MaxHedges=2",
+	} {
+		ov, err := ParseAssignment(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ovs = append(ovs, ov)
+	}
+	if err := s.Apply(ovs); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Fleet.Resilience.Hedge
+	if h == nil || !h.Enabled || h.MaxHedges != 2 {
+		t.Fatalf("hedge overrides not applied: %+v", h)
+	}
+	if !s.Fleet.Resilience.EnabledAny() {
+		t.Fatal("hedge-on spec reports disabled")
+	}
+}

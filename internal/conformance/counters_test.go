@@ -10,11 +10,13 @@ import (
 	"testing"
 
 	"mcsquare/internal/dram"
+	"mcsquare/internal/fleet"
 	"mcsquare/internal/machine"
 	"mcsquare/internal/memctrl"
 	"mcsquare/internal/memdata"
 	"mcsquare/internal/metrics"
 	"mcsquare/internal/sim"
+	"mcsquare/internal/stats"
 )
 
 // The counter audit: every uint64 stats field on the hot components must
@@ -141,6 +143,19 @@ func TestCounterRegistryAudit(t *testing.T) {
 			reflect.ValueOf(&m.Lazy.Stats).Elem())...)
 		mapping = append(mapping, auditCounters(t, m.Metrics, "ctt",
 			reflect.ValueOf(&m.Lazy.CTT().Stats).Elem())...)
+	}
+
+	// Fleet result: run counters under "fleet", the fault-tolerance
+	// plane's availability accounting under "fleet.resilience". No
+	// ResetStats — a Result is a per-run value, never reused.
+	{
+		reg := metrics.NewRegistry()
+		res := &fleet.Result{Latencies: &stats.Histogram{}}
+		res.PublishInto(reg)
+		mapping = append(mapping, auditCounters(t, reg, "fleet",
+			reflect.ValueOf(res).Elem())...)
+		mapping = append(mapping, auditCounters(t, reg, "fleet.resilience",
+			reflect.ValueOf(&res.Resilience).Elem())...)
 	}
 
 	if t.Failed() {

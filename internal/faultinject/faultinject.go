@@ -53,6 +53,13 @@ func (k Kind) String() string {
 // fires; otherwise every Every-th offered event of that kind fires (with a
 // per-plane, seed-derived phase so distinct machines are not in lockstep).
 // Window kinds (BPQ stall, interconnect delay) carry a duration in cycles.
+//
+// The fleet-scoped fields describe storms above the micro level: whole
+// machines crashing and recovering, brownout windows that inflate a
+// machine's calibrated service times, and lost LB health probes. They are
+// consumed by internal/fleet's event loop on its completion-heap timebase
+// (seeded per-machine streams derived from Seed), not by per-machine
+// Planes; a zero value for all of them means the fleet never degrades.
 type Schedule struct {
 	Seed uint64 `json:"seed"`
 
@@ -64,6 +71,21 @@ type Schedule struct {
 	XConDelayCycles  uint64 `json:"xcon_delay_cycles"`
 	XConDupEvery     uint64 `json:"xcon_dup_every"`
 	DRAMCorruptEvery uint64 `json:"dram_corrupt_every"`
+
+	// CrashMeanUpCycles / CrashMeanDownCycles parameterize per-machine
+	// crash+recover alternation: exponential up-times with the given mean,
+	// then exponential down-times. Zero up-time mean disables crashes.
+	CrashMeanUpCycles   float64 `json:"crash_mean_up_cycles,omitempty"`
+	CrashMeanDownCycles float64 `json:"crash_mean_down_cycles,omitempty"`
+	// Brownout windows multiply a machine's service samples by
+	// BrownoutFactor while active. Zero up-time mean disables brownouts.
+	BrownoutMeanUpCycles float64 `json:"brownout_mean_up_cycles,omitempty"`
+	BrownoutMeanCycles   float64 `json:"brownout_mean_cycles,omitempty"`
+	BrownoutFactor       float64 `json:"brownout_factor,omitempty"`
+	// ProbeLossEvery drops every Nth health probe per machine (with a
+	// seed-derived per-machine phase), exercising the fail/restore
+	// thresholds even on healthy machines. Zero means lossless probes.
+	ProbeLossEvery uint64 `json:"probe_loss_every,omitempty"`
 }
 
 // splitmix64 is the SplitMix64 mixing function: a bijective avalanche over
@@ -76,22 +98,92 @@ func splitmix64(x uint64) uint64 {
 }
 
 // FromSeed derives a full chaos schedule from one seed: every kind active,
-// with rates in [16, 80) offered events and windows in [128, 1152) cycles.
-// The derivation is pure, so the same seed is the same schedule forever.
+// with rates in [16, 80) offered events and windows in [128, 1152) cycles,
+// plus a fleet storm (FleetStormFromSeed) over the same seed. The
+// derivation is pure, so the same seed is the same schedule forever; the
+// micro-kind mixing is untouched by the fleet fields, so pre-storm seeds
+// still derive the same per-machine plane behavior.
 func FromSeed(seed uint64) Schedule {
 	rate := func(k Kind) uint64 { return 16 + splitmix64(seed^uint64(k)<<8)%64 }
 	window := func(k Kind) uint64 { return 128 + splitmix64(seed^uint64(k)<<16)%1024 }
-	return Schedule{
-		Seed:             seed,
-		CTTEvictEvery:    rate(KindCTTEvict),
-		BPQStallEvery:    rate(KindBPQStall),
-		BPQStallCycles:   window(KindBPQStall),
-		WPQRejectEvery:   rate(KindWPQReject),
-		XConDelayEvery:   rate(KindXConDelay),
-		XConDelayCycles:  window(KindXConDelay),
-		XConDupEvery:     rate(KindXConDup),
-		DRAMCorruptEvery: rate(KindDRAMCorrupt),
+	s := FleetStormFromSeed(seed)
+	s.CTTEvictEvery = rate(KindCTTEvict)
+	s.BPQStallEvery = rate(KindBPQStall)
+	s.BPQStallCycles = window(KindBPQStall)
+	s.WPQRejectEvery = rate(KindWPQReject)
+	s.XConDelayEvery = rate(KindXConDelay)
+	s.XConDelayCycles = window(KindXConDelay)
+	s.XConDupEvery = rate(KindXConDup)
+	s.DRAMCorruptEvery = rate(KindDRAMCorrupt)
+	return s
+}
+
+// Fleet-field derivation tags: distinct mixing inputs so adding the fleet
+// storm to FromSeed could not perturb the micro-kind rates and windows
+// (which committed chaos goldens depend on).
+const (
+	tagCrashUp   = 0xF1EE70001
+	tagCrashDown = 0xF1EE70002
+	tagBrownUp   = 0xF1EE70003
+	tagBrownLen  = 0xF1EE70004
+	tagBrownMul  = 0xF1EE70005
+	tagProbeLoss = 0xF1EE70006
+	tagFleetKind = 0xF1EE70000 // base for per-(machine, kind) stream seeds
+)
+
+// FleetStormFromSeed derives only the fleet-scoped storm from a seed:
+// crash up-times averaging 0.4–1.2M cycles against 40–160k down-times,
+// more frequent brownouts inflating service 2–7x, and 1-in-[6,30) probe
+// loss. Micro kinds stay zero, so single-machine planes never fire.
+func FleetStormFromSeed(seed uint64) Schedule {
+	cyc := func(tag, lo, span uint64) float64 {
+		return float64(lo + splitmix64(seed^uint64(tag))%span)
 	}
+	return Schedule{
+		Seed:                 seed,
+		CrashMeanUpCycles:    cyc(tagCrashUp, 400_000, 800_000),
+		CrashMeanDownCycles:  cyc(tagCrashDown, 40_000, 120_000),
+		BrownoutMeanUpCycles: cyc(tagBrownUp, 200_000, 400_000),
+		BrownoutMeanCycles:   cyc(tagBrownLen, 50_000, 150_000),
+		BrownoutFactor:       float64(2 + splitmix64(seed^uint64(tagBrownMul))%6),
+		ProbeLossEvery:       6 + splitmix64(seed^uint64(tagProbeLoss))%24,
+	}
+}
+
+// FleetStreamSeed derives the deterministic RNG-stream seed for one
+// machine's fleet-fault stream of the given kind index (crash timing,
+// brownout timing, ...). Pure, so replays are exact at any -jobs.
+func (s Schedule) FleetStreamSeed(machine, kind int) uint64 {
+	return splitmix64(s.Seed ^ uint64(machine)<<40 ^ uint64(tagFleetKind+kind))
+}
+
+// FleetActive reports whether any fleet-scoped storm field can degrade a
+// machine or a probe.
+func (s Schedule) FleetActive() bool {
+	return s.CrashMeanUpCycles > 0 || s.BrownoutMeanUpCycles > 0 || s.ProbeLossEvery > 0
+}
+
+// ScaleFleet scales the fleet storm's intensity: 0 turns it off entirely,
+// 1 is the schedule as-is, larger values shrink the mean healthy windows
+// proportionally (and probe loss periods, floored at every-probe). Micro
+// kinds are untouched; the figureResilience intensity axis uses this.
+func (s Schedule) ScaleFleet(intensity float64) Schedule {
+	if intensity <= 0 {
+		s.CrashMeanUpCycles, s.CrashMeanDownCycles = 0, 0
+		s.BrownoutMeanUpCycles, s.BrownoutMeanCycles, s.BrownoutFactor = 0, 0, 0
+		s.ProbeLossEvery = 0
+		return s
+	}
+	s.CrashMeanUpCycles /= intensity
+	s.BrownoutMeanUpCycles /= intensity
+	if s.ProbeLossEvery > 0 {
+		scaled := uint64(float64(s.ProbeLossEvery) / intensity)
+		if scaled < 1 {
+			scaled = 1
+		}
+		s.ProbeLossEvery = scaled
+	}
+	return s
 }
 
 // every returns the firing period for a kind (0 = off).
@@ -124,14 +216,16 @@ func (s Schedule) window(k Kind) uint64 {
 	return 0
 }
 
-// Active reports whether any fault kind can fire.
+// Active reports whether any fault — micro kind or fleet storm — can
+// fire. A fleet-only schedule is active so a Collector carries it to the
+// fleet event loop even though no per-machine plane would ever fire.
 func (s Schedule) Active() bool {
 	for k := Kind(0); k < NumKinds; k++ {
 		if s.every(k) != 0 {
 			return true
 		}
 	}
-	return false
+	return s.FleetActive()
 }
 
 // WriteJSON serializes the schedule (the CI chaos job uploads it as the

@@ -50,7 +50,7 @@ func TestParallelDeterminism(t *testing.T) {
 		ids = []string{"2", "20"}
 	}
 	if os.Getenv("MCFIG_DETERMINISM_ALL") != "" {
-		ids = append(ids, "16", "17", "fleet")
+		ids = append(ids, "16", "17", "fleet", "resilience")
 	}
 	workers := runtime.NumCPU()
 	if workers < 4 {

@@ -22,6 +22,11 @@ type Timeline struct {
 	Clock        stats.Clock
 	Windows      []TimelineWindow
 
+	// Resilience widens the export with the fault-tolerance plane's
+	// per-window outcome columns. Off (and the export byte-identical to
+	// the legacy shape) unless the run's resilience plane was active.
+	Resilience bool
+
 	// SLOViolated reports whether any window's p99 exceeded SLOP99Ms;
 	// FirstViolation is the first such window's index (windows are
 	// checked in time order, so its End is the time-to-first-violation
@@ -41,6 +46,14 @@ type TimelineWindow struct {
 	Completed uint64
 	Dropped   uint64
 	MaxDepth  int
+
+	// Resilience-plane outcomes, attributed by resolution (or issue)
+	// instant; all zero when the plane is off.
+	TimedOut uint64
+	Shed     uint64
+	Failed   uint64
+	Retries  uint64
+	Hedges   uint64
 
 	depthSum     float64
 	depthSamples uint64
@@ -119,6 +132,49 @@ func (t *Timeline) completion(at, latCycles float64) {
 	w.lat.Add(latCycles)
 }
 
+// shed records an arrival turned away by admission control.
+func (t *Timeline) shed(at float64) {
+	if t == nil {
+		return
+	}
+	t.win(at).Shed++
+}
+
+// failure records a request resolved without completing, at its
+// resolution instant (queue drops under the resilience plane land here
+// rather than on the arrival-instant Dropped flag, because retries may
+// still have saved them).
+func (t *Timeline) failure(at float64, cause outcomeCause) {
+	if t == nil {
+		return
+	}
+	w := t.win(at)
+	switch cause {
+	case causeDropped:
+		w.Dropped++
+	case causeTimeout:
+		w.TimedOut++
+	default:
+		w.Failed++
+	}
+}
+
+// retry records a scheduled retry attempt.
+func (t *Timeline) retry(at float64) {
+	if t == nil {
+		return
+	}
+	t.win(at).Retries++
+}
+
+// hedge records an issued hedge attempt.
+func (t *Timeline) hedge(at float64) {
+	if t == nil {
+		return
+	}
+	t.win(at).Hedges++
+}
+
 // finalize computes the SLO verdict once the event loop drains.
 func (t *Timeline) finalize() {
 	if t == nil || t.SLOP99Ms <= 0 {
@@ -170,16 +226,29 @@ type windowView struct {
 	MaxDepth    int     `json:"max_depth"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+
+	// Resilience-plane columns; omitted from JSON (and absent from CSV)
+	// when the plane was off, so legacy exports are byte-identical.
+	TimedOut uint64 `json:"timed_out,omitempty"`
+	Shed     uint64 `json:"shed,omitempty"`
+	Failed   uint64 `json:"failed,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
+	Hedges   uint64 `json:"hedges,omitempty"`
 }
 
 func (t *Timeline) view(w *TimelineWindow) windowView {
-	return windowView{
+	v := windowView{
 		Index: w.Index, Start: w.Start, End: w.End,
 		Arrivals: w.Arrivals, Completed: w.Completed, Dropped: w.Dropped,
 		GoodputKOps: t.goodputKOps(w),
 		MeanDepth:   w.MeanDepth(), MaxDepth: w.MaxDepth,
 		P50Ms: t.msOf(w.lat.Percentile(50)), P99Ms: t.msOf(w.lat.Percentile(99)),
 	}
+	if t.Resilience {
+		v.TimedOut, v.Shed, v.Failed = w.TimedOut, w.Shed, w.Failed
+		v.Retries, v.Hedges = w.Retries, w.Hedges
+	}
+	return v
 }
 
 // WriteJSON writes the fleet timeline as one indented JSON document.
@@ -203,17 +272,32 @@ func (t *Timeline) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// WriteCSV writes the fleet timeline as flat CSV rows.
+// WriteCSV writes the fleet timeline as flat CSV rows. Resilience runs
+// append the per-window outcome columns; legacy runs keep the exact
+// legacy header and row shape.
 func (t *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "window,start,end,arrivals,completed,dropped,goodput_kops,mean_depth,max_depth,p50_ms,p99_ms\n"); err != nil {
+	header := "window,start,end,arrivals,completed,dropped,goodput_kops,mean_depth,max_depth,p50_ms,p99_ms"
+	if t.Resilience {
+		header += ",timed_out,shed,failed,retries,hedges"
+	}
+	if _, err := io.WriteString(w, header+"\n"); err != nil {
 		return err
 	}
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for i := range t.Windows {
 		v := t.view(&t.Windows[i])
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%s,%s,%d,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%s,%s,%d,%s,%s",
 			v.Index, g(v.Start), g(v.End), v.Arrivals, v.Completed, v.Dropped,
 			g(v.GoodputKOps), g(v.MeanDepth), v.MaxDepth, g(v.P50Ms), g(v.P99Ms)); err != nil {
+			return err
+		}
+		if t.Resilience {
+			if _, err := fmt.Fprintf(w, ",%d,%d,%d,%d,%d",
+				v.TimedOut, v.Shed, v.Failed, v.Retries, v.Hedges); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}
